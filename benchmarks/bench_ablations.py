@@ -1,0 +1,84 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These quantify the individual contribution of the paper's components:
+proportional state-to-group sizing, intra-node work stealing, the chain /
+surplus reordering, and the chain early-exit in the compressed kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compression import compress_grid
+from repro.core.kernels import evaluate
+from repro.experiments.ablations import (
+    run_partition_ablation,
+    run_reordering_ablation,
+    run_scheduler_ablation,
+)
+from repro.grids.regular import regular_sparse_grid
+
+
+@pytest.mark.benchmark(group="ablation-partition")
+def bench_partition_rule(benchmark):
+    """Proportional vs. uniform MPI group sizing on dispersed grid sizes."""
+    result = benchmark.pedantic(
+        run_partition_ablation, kwargs={"total_processes": 64}, rounds=5, iterations=1
+    )
+    benchmark.extra_info["imbalance_proportional"] = round(result.imbalance_proportional, 4)
+    benchmark.extra_info["imbalance_uniform"] = round(result.imbalance_uniform, 4)
+    assert result.imbalance_proportional <= result.imbalance_uniform + 1e-12
+
+
+@pytest.mark.benchmark(group="ablation-scheduler")
+def bench_work_stealing_vs_static(benchmark):
+    """Work stealing vs. static partition on a heavy-tailed solve-cost mix."""
+    result = benchmark.pedantic(
+        run_scheduler_ablation,
+        kwargs={"num_tasks": 5_000, "num_workers": 24},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["speedup_from_stealing"] = round(result.speedup_from_stealing, 2)
+    benchmark.extra_info["efficiency_stealing"] = round(result.efficiency_stealing, 3)
+    benchmark.extra_info["efficiency_static"] = round(result.efficiency_static, 3)
+    assert result.speedup_from_stealing > 1.0
+
+
+@pytest.mark.benchmark(group="ablation-reordering")
+def bench_surplus_reordering(benchmark):
+    """Batched kernel with vs. without the chain/surplus reordering."""
+    result = benchmark.pedantic(
+        run_reordering_ablation,
+        kwargs={"dim": 12, "level": 4, "num_dofs": 32, "num_queries": 128, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["speedup_from_reordering"] = round(result.speedup_from_reordering, 3)
+    benchmark.extra_info["num_points"] = result.num_points
+
+
+@pytest.mark.benchmark(group="ablation-nfreq")
+@pytest.mark.parametrize("level", [2, 3, 4])
+def bench_compression_ratio_by_depth(benchmark, level):
+    """How the chain length (nfreq) and kernel time grow with the grid level.
+
+    This is the ablation of the compression's key parameter: deeper grids
+    have longer chains, so the compressed kernel's advantage over the dense
+    layout shrinks from d/1 towards d/nfreq.
+    """
+    dim = 20
+    grid = regular_sparse_grid(dim, level)
+    comp = compress_grid(grid)
+    rng = np.random.default_rng(0)
+    surplus = rng.standard_normal((len(grid), 16))
+    queries = rng.random((64, dim))
+    result = benchmark.pedantic(
+        evaluate, args=(comp, surplus, queries), kwargs={"kernel": "cuda"},
+        rounds=3, iterations=1,
+    )
+    assert result.shape == (64, 16)
+    benchmark.extra_info["nfreq"] = comp.nfreq
+    benchmark.extra_info["num_points"] = comp.num_points
+    benchmark.extra_info["compression_ratio"] = round(comp.compression_ratio, 2)

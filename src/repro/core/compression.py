@@ -1,0 +1,295 @@
+"""Adaptive sparse grid index compression (paper Sec. IV-B).
+
+The dense representation of an ASG stores, for every grid point, the full
+``d``-dimensional multi-index pair ``(l, i)``; the interpolation kernel then
+multiplies ``d`` one-dimensional basis values per point per query.  For the
+paper's application ``d = 59`` but almost all entries are *trivial*: their
+level is 1, whose basis function is the constant 1.  The compression
+pipeline removes that redundancy:
+
+1. **Zero elimination** (Fig. 3).  Entries whose 1-D basis function is the
+   constant function are marked as "zeros".  (The paper achieves the same
+   thing by re-coding ``(l, i)`` so the trivial pair becomes ``(0, 0)``.)
+2. **Frequency decomposition** (Fig. 4).  The non-zero entries of the
+   ``nno x d`` matrix Ξ are spread over ``nfreq`` matrices ``xi_freq`` such
+   that each matrix holds at most one non-zero entry per grid point, where
+   ``nfreq`` is the maximum number of non-trivial dimensions of any point.
+3. **Unique factor table** ``xps``.  The distinct ``(dimension, level,
+   index)`` triples across all ``xi_freq`` matrices are collected into one
+   small table; index 0 is reserved as the chain terminator.  Per query
+   point only ``len(xps)`` 1-D basis values ever need to be computed, and
+   the table is small enough to live in cache / GPU shared memory
+   (473 entries for the 281,077-point level-4 grid, Table I).
+4. **Chains** (Algorithm 2).  Every grid point becomes a chain of at most
+   ``nfreq`` references into ``xps``; the interpolation kernel multiplies
+   the referenced factor values and stops at the first terminator.
+5. **Surplus reordering.**  Grid points are re-ordered so that points with
+   similar chains are adjacent, which groups memory accesses to the surplus
+   matrix (the ``order`` permutation returned with the compressed grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grids.grid import SparseGrid
+
+__all__ = [
+    "XiEntry",
+    "XiDecomposition",
+    "CompressedGrid",
+    "compress_grid",
+    "compression_stats",
+]
+
+
+@dataclass(frozen=True)
+class XiEntry:
+    """One non-trivial entry of the Ξ matrix.
+
+    Attributes
+    ----------
+    point
+        Row of the grid (index into Ξ) this entry belongs to.
+    dim
+        Dimension (column of Ξ) of the entry.
+    level, index
+        The 1-D hierarchical level and index (1-based levels).
+    """
+
+    point: int
+    dim: int
+    level: int
+    index: int
+
+
+@dataclass
+class XiDecomposition:
+    """Intermediate representation of the frequency decomposition.
+
+    ``freq_entries[f]`` lists the entries assigned to the ``f``-th
+    frequency matrix ``xi_freq`` in their storage order (the order induced
+    by the paper's "first free row in column j" placement rule followed by
+    the renumbering sweep).  ``positions[f]`` maps a grid point to its
+    renumbered position within frequency ``f`` (or -1 if the point has
+    fewer than ``f + 1`` non-trivial dimensions), and ``transitions[f]``
+    maps positions of frequency ``f`` to positions of frequency ``f + 1``
+    (-1 when the chain ends), mirroring the paper's transition matrices
+    ``T_freq``.
+    """
+
+    dim: int
+    num_points: int
+    nfreq: int
+    freq_entries: list[list[XiEntry]] = field(default_factory=list)
+    positions: np.ndarray = field(default=None)
+    transitions: np.ndarray = field(default=None)
+
+    @property
+    def num_nonzero(self) -> int:
+        """Total number of non-trivial Ξ entries."""
+        return sum(len(entries) for entries in self.freq_entries)
+
+
+def _nontrivial_entries(grid: SparseGrid) -> list[list[tuple[int, int, int]]]:
+    """Per grid point, the list of (dim, level, index) with level >= 2."""
+    rows: list[list[tuple[int, int, int]]] = []
+    levels = grid.levels
+    indices = grid.indices
+    for point in range(len(grid)):
+        nz = np.flatnonzero(levels[point] >= 2)
+        rows.append(
+            [(int(t), int(levels[point, t]), int(indices[point, t])) for t in nz]
+        )
+    return rows
+
+
+def decompose(grid: SparseGrid) -> XiDecomposition:
+    """Run the frequency decomposition of Ξ (steps 1-2 of the pipeline)."""
+    per_point = _nontrivial_entries(grid)
+    nno = len(grid)
+    nfreq = max((len(row) for row in per_point), default=0)
+    nfreq = max(nfreq, 1)  # keep at least one frequency so chains are well formed
+
+    # Placement: the f-th non-trivial entry of every point goes into xi_f.
+    # Within xi_f we emulate the paper's "first free row in column j" rule:
+    # entries are kept per column in arrival order, and the renumbering
+    # sweep enumerates columns left to right, rows top to bottom.
+    freq_entries: list[list[XiEntry]] = []
+    positions = np.full((nfreq, nno), -1, dtype=np.int64)
+    for f in range(nfreq):
+        columns: list[list[XiEntry]] = [[] for _ in range(grid.dim)]
+        max_rows = 0
+        for point, row in enumerate(per_point):
+            if len(row) <= f:
+                continue
+            t, level, index = row[f]
+            columns[t].append(XiEntry(point=point, dim=t, level=level, index=index))
+            max_rows = max(max_rows, len(columns[t]))
+        # Renumbering sweep: row-major over the (max_rows x dim) xi_f matrix.
+        ordered: list[XiEntry] = []
+        for r in range(max_rows):
+            for t in range(grid.dim):
+                if r < len(columns[t]):
+                    ordered.append(columns[t][r])
+        for pos, entry in enumerate(ordered):
+            positions[f, entry.point] = pos
+        freq_entries.append(ordered)
+
+    # Transition matrices: position in xi_f  ->  position in xi_{f+1}.
+    transitions = np.full((max(nfreq - 1, 0), nno), -1, dtype=np.int64)
+    for f in range(nfreq - 1):
+        trans = np.full(len(freq_entries[f]), -1, dtype=np.int64)
+        for point in range(nno):
+            p_here = positions[f, point]
+            p_next = positions[f + 1, point]
+            if p_here >= 0:
+                trans[p_here] = p_next
+        # store padded to nno columns for a rectangular array
+        transitions[f, : trans.shape[0]] = trans
+    return XiDecomposition(
+        dim=grid.dim,
+        num_points=nno,
+        nfreq=nfreq,
+        freq_entries=freq_entries,
+        positions=positions,
+        transitions=transitions,
+    )
+
+
+@dataclass
+class CompressedGrid:
+    """The compressed ASG representation consumed by the kernels.
+
+    Attributes
+    ----------
+    dim, num_points, nfreq
+        Grid dimensionality, number of points (``nno``) and maximum chain
+        length.
+    xps_dims, xps_levels, xps_indices
+        The unique-factor table; entry 0 is the sentinel / chain terminator
+        and never evaluated.
+    chains
+        ``(num_points, nfreq)`` indices into ``xps`` (0 terminates the
+        chain), stored in the *reordered* point order.
+    order
+        Permutation such that ``chains[k]`` describes original grid row
+        ``order[k]``; surpluses passed in grid order are re-ordered with it.
+    levels, indices
+        References to the dense multi-index arrays of the originating grid
+        (kept so the uncompressed "gold" kernel can run from the same
+        object).
+    """
+
+    dim: int
+    num_points: int
+    nfreq: int
+    xps_dims: np.ndarray
+    xps_levels: np.ndarray
+    xps_indices: np.ndarray
+    chains: np.ndarray
+    order: np.ndarray
+    levels: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def num_xps(self) -> int:
+        """Size of the unique factor table (including the sentinel)."""
+        return int(self.xps_dims.shape[0])
+
+    @property
+    def dense_entries(self) -> int:
+        """Number of multi-index entries in the dense (gold) layout."""
+        return self.num_points * self.dim
+
+    @property
+    def chain_entries(self) -> int:
+        """Number of chain slots in the compressed layout."""
+        return self.num_points * self.nfreq
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense-to-compressed ratio of per-point index work (d / nfreq)."""
+        return self.dense_entries / max(self.chain_entries, 1)
+
+    def xps_table_bytes(self, bytes_per_entry: int = 8) -> int:
+        """Rough memory footprint of the factor table (paper: fits in 48 KB)."""
+        return self.num_xps * bytes_per_entry
+
+    def reorder(self, surplus: np.ndarray) -> np.ndarray:
+        """Reorder a surplus matrix from grid order into chain order."""
+        surplus = np.asarray(surplus, dtype=float)
+        if surplus.shape[0] != self.num_points:
+            raise ValueError(
+                f"surplus has {surplus.shape[0]} rows, grid has {self.num_points} points"
+            )
+        return surplus[self.order]
+
+
+def compress_grid(grid: SparseGrid) -> CompressedGrid:
+    """Build the full compressed representation of a sparse grid."""
+    deco = decompose(grid)
+    nno = len(grid)
+    nfreq = deco.nfreq
+
+    # Unique factor table.  Index 0 is the sentinel.
+    factor_key_to_id: dict[tuple[int, int, int], int] = {}
+    xps_dims = [0]
+    xps_levels = [1]
+    xps_indices = [1]
+    chains = np.zeros((nno, nfreq), dtype=np.int32)
+    for f, entries in enumerate(deco.freq_entries):
+        for entry in entries:
+            key = (entry.dim, entry.level, entry.index)
+            fid = factor_key_to_id.get(key)
+            if fid is None:
+                fid = len(xps_dims)
+                factor_key_to_id[key] = fid
+                xps_dims.append(entry.dim)
+                xps_levels.append(entry.level)
+                xps_indices.append(entry.index)
+            chains[entry.point, f] = fid
+
+    # Surplus reordering: group points whose chains start with the same
+    # factors (lexicographic sort over the chain columns).
+    order = np.lexsort(tuple(chains[:, f] for f in reversed(range(nfreq))))
+    chains = np.ascontiguousarray(chains[order])
+
+    return CompressedGrid(
+        dim=grid.dim,
+        num_points=nno,
+        nfreq=nfreq,
+        xps_dims=np.asarray(xps_dims, dtype=np.int32),
+        xps_levels=np.asarray(xps_levels, dtype=np.int32),
+        xps_indices=np.asarray(xps_indices, dtype=np.int32),
+        chains=chains,
+        order=np.asarray(order, dtype=np.int64),
+        levels=grid.levels,
+        indices=grid.indices,
+    )
+
+
+def compression_stats(grid: SparseGrid, compressed: CompressedGrid | None = None) -> dict:
+    """Summary statistics of the compression (Table I style).
+
+    Returns a dictionary with the number of points, dimensions, ``nfreq``,
+    the size of the unique factor table (``xps``), the fraction of trivial
+    ("zero") Ξ entries eliminated, and the index compression ratio.
+    """
+    comp = compressed if compressed is not None else compress_grid(grid)
+    nontrivial = int(np.count_nonzero(grid.levels >= 2))
+    dense = comp.dense_entries
+    return {
+        "num_points": comp.num_points,
+        "dim": comp.dim,
+        "nfreq": comp.nfreq,
+        "num_xps": comp.num_xps,
+        "nonzero_entries": nontrivial,
+        "zeros_fraction": 1.0 - nontrivial / max(dense, 1),
+        "dense_entries": dense,
+        "chain_entries": comp.chain_entries,
+        "compression_ratio": comp.compression_ratio,
+        "xps_table_bytes": comp.xps_table_bytes(),
+    }

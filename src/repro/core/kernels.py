@@ -1,0 +1,286 @@
+"""Interpolation kernels (paper Sec. V-A, Table II, Fig. 6).
+
+The paper benchmarks six kernel variants that all evaluate the sparse grid
+interpolant (Eq. 14) for a batch of query points against a multi-dof
+surplus matrix.  The reproduction maps each hardware-specific variant onto
+the closest pure-Python/NumPy analog:
+
+==========  =====================================================================
+name        analog in this reproduction
+==========  =====================================================================
+``gold``    dense (uncompressed) layout, vectorized over grid points, one query
+            point at a time — the baseline data format of the authors' earlier
+            work.
+``x86``     compressed layout (chains + ``xps`` factor table), one query point
+            at a time.
+``avx``     compressed layout, query points processed in blocks of 4
+            ("vector lanes").
+``avx2``    compressed layout, blocks of 8 with fused accumulation.
+``avx512``  compressed layout, grid points split across worker threads with a
+            partial-sum reduction (the paper's OpenMP-inside-kernel variant).
+``cuda``    compressed layout, fully batched: large query blocks, the factor
+            table shared across the block ("shared memory"), one large GEMM
+            against the reordered surplus matrix per block.
+==========  =====================================================================
+
+All kernels take surpluses in *grid order*; the reordering permutation of
+the compressed grid is applied internally, so every kernel returns bitwise
+comparable results (up to floating point associativity).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from repro.core.compression import CompressedGrid
+from repro.grids.hierarchical import basis_1d_vectorized
+
+__all__ = ["evaluate", "list_kernels", "get_kernel", "KERNELS", "factor_values"]
+
+
+# --------------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------------- #
+def factor_values(comp: CompressedGrid, X: np.ndarray) -> np.ndarray:
+    """Evaluate the unique factor table ``xps`` at query points.
+
+    Returns an ``(m, num_xps)`` array ``xpv`` with ``xpv[:, 0] = 1`` (the
+    sentinel).  This is the per-query work that replaces the ``d`` basis
+    evaluations per *grid point* of the dense layout.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    coords = X[:, comp.xps_dims]  # (m, num_xps) gather of the relevant coordinate
+    xpv = basis_1d_vectorized(coords, comp.xps_levels[None, :], comp.xps_indices[None, :])
+    xpv[:, 0] = 1.0
+    return xpv
+
+
+def _chain_products(comp: CompressedGrid, xpv_block: np.ndarray) -> np.ndarray:
+    """Multiply chain factors for a block of query points.
+
+    ``xpv_block`` has shape ``(b, num_xps)``; the result has shape
+    ``(b, num_points)`` and holds the tensor-product basis value of every
+    (reordered) grid point at every query point of the block.
+    """
+    b = xpv_block.shape[0]
+    temp = np.ones((b, comp.num_points), dtype=float)
+    for f in range(comp.nfreq):
+        idx = comp.chains[:, f]
+        active = idx > 0
+        if not np.any(active):
+            break
+        temp[:, active] *= xpv_block[:, idx[active]]
+    return temp
+
+
+def _validate(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray):
+    surplus = np.asarray(surplus, dtype=float)
+    if surplus.ndim == 1:
+        surplus = surplus[:, None]
+    if surplus.shape[0] != comp.num_points:
+        raise ValueError(
+            f"surplus has {surplus.shape[0]} rows, grid has {comp.num_points} points"
+        )
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    if X.shape[1] != comp.dim:
+        raise ValueError(f"query points must have {comp.dim} columns, got {X.shape[1]}")
+    return surplus, X
+
+
+# --------------------------------------------------------------------------- #
+# kernel implementations
+# --------------------------------------------------------------------------- #
+def kernel_gold(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Dense-layout baseline: ``nno x d`` basis factors per query point."""
+    surplus, X = _validate(comp, surplus, X)
+    out = np.empty((X.shape[0], surplus.shape[1]), dtype=float)
+    levels = comp.levels
+    indices = comp.indices
+    for q in range(X.shape[0]):
+        phi = np.ones(comp.num_points, dtype=float)
+        x = X[q]
+        for t in range(comp.dim):
+            phi *= basis_1d_vectorized(x[t], levels[:, t], indices[:, t])
+        out[q] = phi @ surplus
+    return out
+
+
+def kernel_x86(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Compressed layout, one query point at a time (``nno x nfreq`` work)."""
+    surplus, X = _validate(comp, surplus, X)
+    surplus_r = comp.reorder(surplus)
+    out = np.empty((X.shape[0], surplus.shape[1]), dtype=float)
+    xpv = factor_values(comp, X)
+    for q in range(X.shape[0]):
+        temp = _chain_products(comp, xpv[q : q + 1])[0]
+        out[q] = temp @ surplus_r
+    return out
+
+
+def _kernel_blocked(
+    comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray, block: int
+) -> np.ndarray:
+    """Compressed layout with query points processed ``block`` at a time."""
+    surplus, X = _validate(comp, surplus, X)
+    surplus_r = comp.reorder(surplus)
+    m = X.shape[0]
+    out = np.empty((m, surplus.shape[1]), dtype=float)
+    xpv = factor_values(comp, X)
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        temp = _chain_products(comp, xpv[start:stop])
+        out[start:stop] = temp @ surplus_r
+    return out
+
+
+def kernel_avx(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Compressed layout, 4-wide query blocks (AVX analog)."""
+    return _kernel_blocked(comp, surplus, X, block=4)
+
+
+def kernel_avx2(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Compressed layout, 8-wide query blocks (AVX2/FMA analog)."""
+    return _kernel_blocked(comp, surplus, X, block=8)
+
+
+def kernel_avx512(
+    comp: CompressedGrid,
+    surplus: np.ndarray,
+    X: np.ndarray,
+    num_threads: int = 4,
+    block: int = 32,
+) -> np.ndarray:
+    """Compressed layout with a threaded partial-sum reduction over grid points.
+
+    Mirrors the paper's AVX-512 variant, which parallelises *inside* the
+    kernel (OpenMP reduction over partial vector sums) instead of relying on
+    the upper-level scheduler.  NumPy releases the GIL inside the large
+    element-wise products and GEMMs, so threads genuinely overlap.
+    """
+    surplus, X = _validate(comp, surplus, X)
+    surplus_r = comp.reorder(surplus)
+    m = X.shape[0]
+    out = np.zeros((m, surplus.shape[1]), dtype=float)
+    xpv = factor_values(comp, X)
+    num_threads = max(1, int(num_threads))
+    bounds = np.linspace(0, comp.num_points, num_threads + 1, dtype=np.int64)
+
+    def _partial(chunk_lo: int, chunk_hi: int) -> np.ndarray:
+        chains = comp.chains[chunk_lo:chunk_hi]
+        part = np.zeros((m, surplus.shape[1]), dtype=float)
+        for start in range(0, m, block):
+            stop = min(start + block, m)
+            temp = np.ones((stop - start, chunk_hi - chunk_lo), dtype=float)
+            for f in range(comp.nfreq):
+                idx = chains[:, f]
+                active = idx > 0
+                if not np.any(active):
+                    break
+                temp[:, active] *= xpv[start:stop][:, idx[active]]
+            part[start:stop] = temp @ surplus_r[chunk_lo:chunk_hi]
+        return part
+
+    if num_threads == 1 or comp.num_points < 2 * num_threads:
+        return _partial(0, comp.num_points)
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        futures = [
+            pool.submit(_partial, int(bounds[i]), int(bounds[i + 1]))
+            for i in range(num_threads)
+            if bounds[i + 1] > bounds[i]
+        ]
+        for future in futures:
+            out += future.result()
+    return out
+
+
+def kernel_cuda(
+    comp: CompressedGrid,
+    surplus: np.ndarray,
+    X: np.ndarray,
+    block: int = 128,
+    memory_budget_mb: float = 256.0,
+) -> np.ndarray:
+    """Fully batched compressed kernel (CUDA analog).
+
+    Processes query points in blocks of up to ``block`` (the paper uses a
+    CUDA block size of 128), keeping the factor table shared across the
+    block and issuing a single GEMM per block against the reordered surplus
+    matrix.  The block size is shrunk automatically if the ``(block, nno)``
+    work buffer would exceed ``memory_budget_mb``.
+    """
+    surplus, X = _validate(comp, surplus, X)
+    surplus_r = comp.reorder(surplus)
+    m = X.shape[0]
+    # cap the block so the (block, num_points) buffer stays within budget
+    max_rows = int(memory_budget_mb * 1e6 / (8 * max(comp.num_points, 1)))
+    block = max(1, min(block, max(max_rows, 1)))
+    out = np.empty((m, surplus.shape[1]), dtype=float)
+    xpv = factor_values(comp, X)
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        temp = _chain_products(comp, xpv[start:stop])
+        np.matmul(temp, surplus_r, out=out[start:stop])
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# registry and dispatch
+# --------------------------------------------------------------------------- #
+KERNELS: dict[str, Callable] = {
+    "gold": kernel_gold,
+    "x86": kernel_x86,
+    "avx": kernel_avx,
+    "avx2": kernel_avx2,
+    "avx512": kernel_avx512,
+    "cuda": kernel_cuda,
+}
+
+
+def list_kernels() -> list[str]:
+    """Names of the available interpolation kernels, in the paper's order."""
+    return list(KERNELS.keys())
+
+
+def get_kernel(name: str) -> Callable:
+    """Look up a kernel by name, raising a helpful error for unknown names."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available kernels: {', '.join(KERNELS)}"
+        ) from None
+
+
+def evaluate(
+    comp: CompressedGrid,
+    surplus: np.ndarray,
+    X: np.ndarray,
+    kernel: str = "cuda",
+    **kwargs,
+) -> np.ndarray:
+    """Evaluate the interpolant at ``X`` with the named kernel.
+
+    Parameters
+    ----------
+    comp
+        Compressed grid from :func:`repro.core.compression.compress_grid`.
+    surplus
+        ``(num_points, num_dofs)`` (or 1-D) surpluses in grid order.
+    X
+        ``(m, dim)`` query points in the unit box.
+    kernel
+        One of :func:`list_kernels`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, num_dofs)`` interpolated values.
+    """
+    func = get_kernel(kernel)
+    surplus = np.asarray(surplus, dtype=float)
+    scalar = surplus.ndim == 1
+    out = func(comp, surplus[:, None] if scalar else surplus, X, **kwargs)
+    return out[:, 0] if scalar else out

@@ -1,0 +1,384 @@
+"""The (parallel) time iteration algorithm (paper Algorithm 1, Sec. IV).
+
+Time iteration computes a time-invariant policy function by repeatedly
+solving the period-to-period equilibrium conditions on a grid, taking the
+previous iterate as next period's policy, until the policy stops changing.
+
+The driver below is model-agnostic: it works against any object satisfying
+the :class:`TimeIterationModel` protocol (the stochastic OLG model of
+:mod:`repro.olg` is the paper's application; tests also use small synthetic
+models).  Grid-point solves are dispatched through a pluggable executor so
+the same driver runs serially, on the work-stealing thread scheduler, or on
+a simulated heterogeneous cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.policy import PolicySet, StatePolicy
+from repro.grids.adaptive import refine
+from repro.grids.domain import BoxDomain
+from repro.grids.grid import SparseGrid
+from repro.grids.regular import regular_sparse_grid
+from repro.utils.logging import get_logger
+from repro.utils.timing import WallClock
+
+__all__ = [
+    "TimeIterationModel",
+    "TimeIterationConfig",
+    "IterationRecord",
+    "TimeIterationResult",
+    "TimeIterationSolver",
+]
+
+logger = get_logger("core.time_iteration")
+
+
+class TimeIterationModel(Protocol):
+    """Protocol a model must satisfy to be solved by time iteration."""
+
+    @property
+    def num_states(self) -> int:
+        """Number of discrete shock states ``Ns``."""
+
+    @property
+    def state_dim(self) -> int:
+        """Dimension ``d`` of the continuous state."""
+
+    @property
+    def num_policies(self) -> int:
+        """Number of policy coefficients approximated per grid point."""
+
+    @property
+    def domain(self) -> BoxDomain:
+        """Box of the continuous state."""
+
+    def initial_policy_values(self, z: int, X: np.ndarray) -> np.ndarray:
+        """Initial-guess nodal policy values at points ``X`` for state ``z``."""
+
+    def solve_point(
+        self, z: int, x: np.ndarray, policy_next: PolicySet, guess: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Solve the equilibrium conditions at one point, returning the policy values."""
+
+    def equilibrium_errors(
+        self, policy: PolicySet, sample: np.ndarray, rng=None
+    ) -> dict:
+        """Residual-based accuracy metrics of a candidate policy (optional)."""
+
+
+@dataclass
+class TimeIterationConfig:
+    """Configuration of the time iteration driver.
+
+    Parameters
+    ----------
+    grid_level
+        Level of the initial regular sparse grid per state.
+    tolerance
+        Convergence tolerance on the sup-norm policy change.
+    max_iterations
+        Iteration cap (time iteration converges only linearly, paper Fig. 9).
+    adaptive
+        Whether to adaptively refine the per-state grids inside each step.
+    refine_epsilon
+        Surplus threshold for adaptive refinement.
+    max_refine_level
+        Cap on the 1-D refinement level (the paper uses ``L_max = 6``).
+    max_points_per_state
+        Hard cap on the per-state grid size.
+    kernel
+        Interpolation kernel used when evaluating next-period policies.
+    damping
+        Convex-combination damping of the policy update (1.0 = undamped).
+    warm_start
+        Reuse the previous iterate's values as the nonlinear solver's guess.
+    convergence_metric
+        Which entry of :meth:`repro.core.policy.PolicySet.distance` stops
+        the iteration: ``"rel_linf"`` (default; scale-free, robust when
+        value functions dwarf savings), ``"linf"``, ``"l2"`` or ``"rel_l2"``.
+    """
+
+    grid_level: int = 2
+    tolerance: float = 1e-4
+    max_iterations: int = 100
+    convergence_metric: str = "rel_linf"
+    adaptive: bool = False
+    refine_epsilon: float = 1e-2
+    max_refine_level: int = 6
+    max_points_per_state: int = 2_000
+    kernel: str = "cuda"
+    damping: float = 1.0
+    warm_start: bool = True
+    verbose: bool = False
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration diagnostics collected by the driver."""
+
+    iteration: int
+    policy_change_linf: float
+    policy_change_l2: float
+    points_per_state: list[int]
+    wall_time: float
+    policy_change_rel_linf: float = float("nan")
+    policy_change_rel_l2: float = float("nan")
+    sections: dict[str, float] = field(default_factory=dict)
+    equilibrium_errors: dict = field(default_factory=dict)
+
+    @property
+    def total_points(self) -> int:
+        return int(sum(self.points_per_state))
+
+
+@dataclass
+class TimeIterationResult:
+    """Outcome of a time iteration run."""
+
+    policy: PolicySet
+    records: list[IterationRecord]
+    converged: bool
+    config: TimeIterationConfig
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def final_error(self) -> float:
+        return self.records[-1].policy_change_linf if self.records else float("nan")
+
+    def error_history(self, metric: str = "linf") -> np.ndarray:
+        """Policy-change history (the series plotted in Fig. 9, right panel).
+
+        ``metric`` is one of ``linf``, ``l2``, ``rel_linf``, ``rel_l2``.
+        """
+        key = f"policy_change_{metric}"
+        return np.asarray([getattr(r, key) for r in self.records], dtype=float)
+
+    def cumulative_time(self) -> np.ndarray:
+        """Cumulative wall time per iteration (Fig. 9, left panel x-axis)."""
+        return np.cumsum([r.wall_time for r in self.records])
+
+
+class _SerialExecutor:
+    """Minimal executor used when no scheduler is supplied."""
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class TimeIterationSolver:
+    """Drives Algorithm 1 for a :class:`TimeIterationModel`.
+
+    Parameters
+    ----------
+    model
+        The economic model.
+    config
+        Driver configuration.
+    executor
+        Optional object with a ``map(fn, items) -> list`` method used to
+        solve grid points in parallel (e.g.
+        :class:`repro.parallel.scheduler.WorkStealingScheduler` or a
+        :class:`repro.parallel.mpi_sim.SimClusterExecutor`).
+    """
+
+    def __init__(
+        self,
+        model: TimeIterationModel,
+        config: TimeIterationConfig | None = None,
+        executor=None,
+    ) -> None:
+        self.model = model
+        self.config = config or TimeIterationConfig()
+        self.executor = executor if executor is not None else _SerialExecutor()
+
+    # ------------------------------------------------------------------ #
+    # policy initialisation
+    # ------------------------------------------------------------------ #
+    def initial_policy(self) -> PolicySet:
+        """Build the initial guess ``p^0`` on regular grids."""
+        policies = []
+        for z in range(self.model.num_states):
+            grid = regular_sparse_grid(self.model.state_dim, self.config.grid_level)
+            X = self.model.domain.from_unit(grid.points)
+            values = np.atleast_2d(
+                np.asarray(self.model.initial_policy_values(z, X), dtype=float)
+            )
+            policies.append(
+                StatePolicy.from_values(
+                    z, grid, values, self.model.domain, kernel=self.config.kernel
+                )
+            )
+        return PolicySet(policies)
+
+    # ------------------------------------------------------------------ #
+    # one time step
+    # ------------------------------------------------------------------ #
+    def _solve_points(
+        self,
+        z: int,
+        X: np.ndarray,
+        policy_next: PolicySet,
+        guesses: np.ndarray | None,
+    ) -> np.ndarray:
+        """Solve the equilibrium system at each row of ``X`` for state ``z``."""
+        model = self.model
+
+        def task(item):
+            row, x = item
+            guess = None if guesses is None else guesses[row]
+            return row, np.asarray(model.solve_point(z, x, policy_next, guess), dtype=float)
+
+        items = list(enumerate(X))
+        results = self.executor.map(task, items)
+        out = np.empty((X.shape[0], model.num_policies), dtype=float)
+        for row, values in results:
+            out[row] = values
+        return out
+
+    def step(self, policy_next: PolicySet, clock: WallClock | None = None) -> PolicySet:
+        """One time-iteration step: update today's policy given ``policy_next``."""
+        cfg = self.config
+        clock = clock or WallClock()
+        policies = []
+        for z in range(self.model.num_states):
+            with clock.section("grid"):
+                prev = policy_next[z]
+                if cfg.adaptive:
+                    # restart from the previous state grid (keeps refined regions)
+                    grid = prev.grid.copy()
+                else:
+                    grid = regular_sparse_grid(self.model.state_dim, cfg.grid_level)
+            X = self.model.domain.from_unit(grid.points)
+            with clock.section("solve"):
+                guesses = (
+                    np.atleast_2d(prev(X)) if cfg.warm_start else None
+                )
+                values = self._solve_points(z, X, policy_next, guesses)
+            if cfg.adaptive:
+                values = self._adaptive_loop(z, grid, values, policy_next, clock)
+            with clock.section("fit"):
+                if cfg.damping < 1.0:
+                    values = cfg.damping * values + (1.0 - cfg.damping) * np.atleast_2d(
+                        prev(self.model.domain.from_unit(grid.points))
+                    )
+                policy = StatePolicy.from_values(
+                    z, grid, values, self.model.domain, kernel=cfg.kernel
+                )
+            policies.append(policy)
+        return PolicySet(policies)
+
+    def _adaptive_loop(
+        self,
+        z: int,
+        grid: SparseGrid,
+        values: np.ndarray,
+        policy_next: PolicySet,
+        clock: WallClock,
+    ) -> np.ndarray:
+        """Refine the state grid until no surplus exceeds the threshold.
+
+        The refinement indicator normalises each coefficient's surplus by
+        the magnitude of that coefficient's nodal values, so the large-scale
+        value functions do not drown out the savings functions (the paper's
+        ``g(alpha) >= epsilon`` criterion applied per approximated function).
+        """
+        from repro.grids.hierarchize import hierarchize
+
+        cfg = self.config
+
+        def relative_indicator(surplus: np.ndarray) -> np.ndarray:
+            scale = 1.0 + np.max(np.abs(values), axis=0)
+            return np.max(np.abs(np.atleast_2d(surplus)) / scale, axis=1)
+
+        while len(grid) < cfg.max_points_per_state:
+            with clock.section("fit"):
+                surplus = hierarchize(grid, values)
+            with clock.section("grid"):
+                new_rows = refine(
+                    grid,
+                    surplus,
+                    cfg.refine_epsilon,
+                    indicator=relative_indicator,
+                    max_level=cfg.max_refine_level,
+                )
+            if new_rows.size == 0:
+                break
+            X_new = self.model.domain.from_unit(grid.points[new_rows])
+            with clock.section("solve"):
+                new_values = self._solve_points(z, X_new, policy_next, None)
+            grown = np.zeros((len(grid), values.shape[1]), dtype=float)
+            grown[: values.shape[0]] = values
+            grown[new_rows] = new_values
+            values = grown
+        return values
+
+    # ------------------------------------------------------------------ #
+    # full solve
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        initial_policy: PolicySet | None = None,
+        error_sample: np.ndarray | None = None,
+    ) -> TimeIterationResult:
+        """Iterate until the policy change drops below the tolerance.
+
+        Parameters
+        ----------
+        initial_policy
+            Optional warm start (e.g. the result of a coarser run — the
+            paper restarts level-4 grids from level-2 solutions).
+        error_sample
+            Optional fixed sample of states at which model-specific
+            equilibrium errors are recorded every iteration (used by the
+            Fig. 9 experiment).
+        """
+        cfg = self.config
+        policy = initial_policy if initial_policy is not None else self.initial_policy()
+        records: list[IterationRecord] = []
+        converged = False
+        for iteration in range(1, cfg.max_iterations + 1):
+            clock = WallClock()
+            t0 = time.perf_counter()
+            new_policy = self.step(policy, clock)
+            wall = time.perf_counter() - t0
+            change = new_policy.distance(policy)
+            record = IterationRecord(
+                iteration=iteration,
+                policy_change_linf=change["linf"],
+                policy_change_l2=change["l2"],
+                policy_change_rel_linf=change["rel_linf"],
+                policy_change_rel_l2=change["rel_l2"],
+                points_per_state=new_policy.points_per_state,
+                wall_time=wall,
+                sections=clock.as_dict(),
+            )
+            if error_sample is not None and hasattr(self.model, "equilibrium_errors"):
+                record.equilibrium_errors = self.model.equilibrium_errors(
+                    new_policy, error_sample
+                )
+            records.append(record)
+            policy = new_policy
+            metric_value = change.get(cfg.convergence_metric, change["linf"])
+            if cfg.verbose:
+                logger.info(
+                    "iteration %d: %s = %.3e, points = %s",
+                    iteration,
+                    cfg.convergence_metric,
+                    metric_value,
+                    new_policy.points_per_state,
+                )
+            if metric_value < cfg.tolerance:
+                converged = True
+                break
+        return TimeIterationResult(
+            policy=policy, records=records, converged=converged, config=cfg
+        )

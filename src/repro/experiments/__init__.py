@@ -1,0 +1,46 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a plain dictionary (or a
+small dataclass) with the rows/series the paper reports, plus a
+``format_*`` helper that renders them as text tables.  The ``benchmarks/``
+tree wires these into pytest-benchmark targets; the ``examples/`` scripts
+print them directly.
+
+==============  ==========================================================
+module          paper artefact
+==============  ==========================================================
+``table1``      Table I   — interpolation test cases ("7k", "300k")
+``table2_fig6`` Table II + Fig. 6 — kernel runtimes and normalized speedups
+``fig7``        Fig. 7    — single-node wall times / speedups per variant
+``fig8``        Fig. 8    — strong scaling to 4,096 nodes
+``fig9``        Fig. 9    — time-iteration convergence (error vs. work)
+``ablations``   design-choice ablations called out in DESIGN.md
+==============  ==========================================================
+"""
+
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.table2_fig6 import run_table2, format_table2
+from repro.experiments.fig7 import run_fig7, format_fig7
+from repro.experiments.fig8 import run_fig8, format_fig8
+from repro.experiments.fig9 import run_fig9, format_fig9
+from repro.experiments.ablations import (
+    run_partition_ablation,
+    run_scheduler_ablation,
+    run_reordering_ablation,
+)
+
+__all__ = [
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "run_fig7",
+    "format_fig7",
+    "run_fig8",
+    "format_fig8",
+    "run_fig9",
+    "format_fig9",
+    "run_partition_ablation",
+    "run_scheduler_ablation",
+    "run_reordering_ablation",
+]

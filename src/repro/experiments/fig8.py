@@ -1,0 +1,113 @@
+"""Fig. 8 — strong scaling of one time step to 4,096 nodes.
+
+The figure plots normalized execution time against node count (1 to 4,096
+Piz Daint nodes) for the level-3 sub-component, the level-4 sub-component
+and the whole step, together with the ideal-speedup lines.  The paper
+reports a single-node runtime of 20,471 s and ~70 % parallel efficiency at
+4,096 nodes, with the lower levels scaling worse because the points-per-
+thread ratio drops below one.
+
+This experiment evaluates the calibrated workload-distribution model of
+:class:`repro.parallel.scaling.StrongScalingModel` over the paper's node
+counts and reports the same series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.cluster import NodeSpec, PIZ_DAINT_NODE
+from repro.parallel.scaling import StrongScalingModel
+
+__all__ = ["Fig8Result", "run_fig8", "format_fig8", "PAPER_FIG8"]
+
+#: Anchors from the paper's Sec. V-C / Fig. 8.
+PAPER_FIG8 = {
+    "single_node_seconds": 20_471.0,
+    "efficiency_at_4096": 0.70,
+    "max_nodes": 4_096,
+    "total_points": 4_497_232,
+    "total_unknowns": 265_336_688,
+}
+
+#: The node counts shown on the figure's x axis.
+DEFAULT_NODE_COUNTS = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+@dataclass
+class Fig8Result:
+    """Normalized execution times per node count."""
+
+    node_counts: np.ndarray
+    normalized_total: np.ndarray
+    normalized_ideal: np.ndarray
+    normalized_levels: dict
+    efficiency: np.ndarray
+    single_node_seconds: float
+    model: StrongScalingModel = field(repr=False, default=None)
+
+    @property
+    def efficiency_at_max_nodes(self) -> float:
+        return float(self.efficiency[-1])
+
+
+def run_fig8(
+    node_counts: tuple = DEFAULT_NODE_COUNTS,
+    dim: int = 59,
+    num_states: int = 16,
+    levels: tuple = (3, 4),
+    node: NodeSpec = PIZ_DAINT_NODE,
+    use_gpu: bool = True,
+    single_node_seconds: float = PAPER_FIG8["single_node_seconds"],
+) -> Fig8Result:
+    """Evaluate the strong-scaling model over the paper's node counts."""
+    model = StrongScalingModel.paper_workload(
+        dim=dim,
+        num_states=num_states,
+        levels=levels,
+        node=node,
+        use_gpu=use_gpu,
+        single_node_seconds=single_node_seconds,
+    )
+    data = model.normalized_times(node_counts)
+    levels_data = {
+        level: data[f"level_{level}"] for level in levels if f"level_{level}" in data
+    }
+    return Fig8Result(
+        node_counts=data["nodes"],
+        normalized_total=data["total"],
+        normalized_ideal=data["ideal"],
+        normalized_levels=levels_data,
+        efficiency=data["efficiency"],
+        single_node_seconds=model.execution_time(1).total_time,
+        model=model,
+    )
+
+
+def format_fig8(result: Fig8Result) -> str:
+    """Text rendering of the Fig. 8 series."""
+    lines = [
+        f"strong scaling, single-node time {result.single_node_seconds:,.0f} s "
+        f"(paper: {PAPER_FIG8['single_node_seconds']:,.0f} s)",
+    ]
+    level_names = sorted(result.normalized_levels)
+    header = f"{'nodes':>6} {'total':>11} {'ideal':>11} " + " ".join(
+        f"{'level ' + str(l):>11}" for l in level_names
+    ) + f" {'efficiency':>11}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, n in enumerate(result.node_counts):
+        row = (
+            f"{int(n):>6} {result.normalized_total[i]:>11.3e} "
+            f"{result.normalized_ideal[i]:>11.3e} "
+        )
+        row += " ".join(f"{result.normalized_levels[l][i]:>11.3e}" for l in level_names)
+        row += f" {result.efficiency[i]:>11.2f}"
+        lines.append(row)
+    lines.append(
+        f"efficiency at {int(result.node_counts[-1])} nodes: "
+        f"{result.efficiency_at_max_nodes:.2f} (paper: ~{PAPER_FIG8['efficiency_at_4096']:.2f})"
+    )
+    return "\n".join(lines)

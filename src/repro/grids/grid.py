@@ -1,0 +1,177 @@
+"""The :class:`SparseGrid` container.
+
+A sparse grid is a set of multivariate hierarchical points, each identified
+by a pair of multi-indices ``(l, i)`` (level and index per dimension).  The
+container stores them as two ``(num_points, dim)`` integer arrays plus the
+derived coordinates, and offers dictionary-style lookup, point insertion
+(keeping hierarchical consistency helpers in :mod:`repro.grids.adaptive`)
+and dense basis evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grids.hierarchical import basis_1d_vectorized, points_1d
+from repro.utils.validation import check_in_unit_box
+
+__all__ = ["SparseGrid"]
+
+
+def _as_key(levels_row: np.ndarray, indices_row: np.ndarray) -> tuple:
+    """Hashable identity of a grid point."""
+    return (tuple(int(v) for v in levels_row), tuple(int(v) for v in indices_row))
+
+
+@dataclass
+class SparseGrid:
+    """A (possibly adaptive) sparse grid on the unit box ``[0, 1]^d``.
+
+    Parameters
+    ----------
+    dim
+        Number of continuous dimensions ``d``.
+    levels, indices
+        ``(num_points, dim)`` integer arrays of 1-based hierarchical levels
+        and indices.  They may be passed empty and filled via
+        :meth:`add_points`.
+    """
+
+    dim: int
+    levels: np.ndarray = field(default=None)
+    indices: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.levels is None:
+            self.levels = np.empty((0, self.dim), dtype=np.int32)
+        if self.indices is None:
+            self.indices = np.empty((0, self.dim), dtype=np.int32)
+        self.levels = np.ascontiguousarray(np.asarray(self.levels, dtype=np.int32))
+        self.indices = np.ascontiguousarray(np.asarray(self.indices, dtype=np.int32))
+        if self.levels.shape != self.indices.shape:
+            raise ValueError(
+                f"levels {self.levels.shape} and indices {self.indices.shape} "
+                "must have identical shapes"
+            )
+        if self.levels.ndim != 2 or self.levels.shape[1] != self.dim:
+            raise ValueError(
+                f"levels/indices must have shape (n, {self.dim}), got {self.levels.shape}"
+            )
+        if self.levels.size and self.levels.min() < 1:
+            raise ValueError("levels must be >= 1")
+        self._lookup: dict[tuple, int] = {}
+        for row in range(self.levels.shape[0]):
+            key = _as_key(self.levels[row], self.indices[row])
+            if key in self._lookup:
+                raise ValueError(f"duplicate grid point {key}")
+            self._lookup[key] = row
+        self._points_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.levels.shape[0]
+
+    @property
+    def num_points(self) -> int:
+        """Number of grid points (the paper's ``nno``)."""
+        return self.levels.shape[0]
+
+    @property
+    def points(self) -> np.ndarray:
+        """``(num_points, dim)`` coordinates in the unit box (cached)."""
+        if self._points_cache is None or self._points_cache.shape[0] != len(self):
+            self._points_cache = points_1d(self.levels, self.indices)
+        return self._points_cache
+
+    @property
+    def level_sums(self) -> np.ndarray:
+        """``|l|_1`` per point (used for level-ordered hierarchization)."""
+        return self.levels.sum(axis=1).astype(np.int64)
+
+    @property
+    def max_level(self) -> int:
+        """Largest refinement level ``n`` represented in the grid."""
+        if len(self) == 0:
+            return 0
+        return int(self.level_sums.max() - self.dim + 1)
+
+    def contains(self, levels_row, indices_row) -> bool:
+        """Whether the point identified by ``(l, i)`` is in the grid."""
+        return _as_key(np.asarray(levels_row), np.asarray(indices_row)) in self._lookup
+
+    def index_of(self, levels_row, indices_row) -> int:
+        """Row index of a point; raises ``KeyError`` if absent."""
+        return self._lookup[_as_key(np.asarray(levels_row), np.asarray(indices_row))]
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_points(self, levels: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Append points, silently skipping duplicates.
+
+        Returns the row indices of the *newly added* points (in the order
+        they were appended), which callers use to know where new function
+        evaluations are required.
+        """
+        levels = np.atleast_2d(np.asarray(levels, dtype=np.int32))
+        indices = np.atleast_2d(np.asarray(indices, dtype=np.int32))
+        if levels.shape != indices.shape or levels.shape[1] != self.dim:
+            raise ValueError("levels/indices must both have shape (n, dim)")
+        new_levels, new_indices, new_rows = [], [], []
+        next_row = len(self)
+        for row in range(levels.shape[0]):
+            key = _as_key(levels[row], indices[row])
+            if key in self._lookup:
+                continue
+            self._lookup[key] = next_row
+            new_levels.append(levels[row])
+            new_indices.append(indices[row])
+            new_rows.append(next_row)
+            next_row += 1
+        if new_rows:
+            self.levels = np.vstack([self.levels, np.asarray(new_levels, dtype=np.int32)])
+            self.indices = np.vstack([self.indices, np.asarray(new_indices, dtype=np.int32)])
+            self._points_cache = None
+        return np.asarray(new_rows, dtype=np.int64)
+
+    def copy(self) -> "SparseGrid":
+        """Deep copy of the grid."""
+        return SparseGrid(self.dim, self.levels.copy(), self.indices.copy())
+
+    # ------------------------------------------------------------------ #
+    # evaluation helpers
+    # ------------------------------------------------------------------ #
+    def basis_at(self, x: np.ndarray) -> np.ndarray:
+        """Dense basis vector ``phi_j(x)`` for a single query point.
+
+        This is the reference ("gold", uncompressed) evaluation used by
+        hierarchization and by correctness tests; production interpolation
+        goes through :mod:`repro.core.kernels`.
+        """
+        x = np.asarray(x, dtype=float).reshape(self.dim)
+        check_in_unit_box("x", x)
+        # (num_points, dim) factor matrix, then product over dimensions.
+        factors = basis_1d_vectorized(x[None, :], self.levels, self.indices)
+        return factors.prod(axis=1)
+
+    def basis_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Dense ``(m, num_points)`` basis matrix for ``m`` query points."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.dim:
+            raise ValueError(f"query points must have {self.dim} columns, got {X.shape[1]}")
+        check_in_unit_box("X", X)
+        out = np.ones((X.shape[0], len(self)), dtype=float)
+        for t in range(self.dim):
+            out *= basis_1d_vectorized(
+                X[:, t][:, None], self.levels[None, :, t], self.indices[None, :, t]
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SparseGrid(dim={self.dim}, num_points={len(self)}, max_level={self.max_level})"

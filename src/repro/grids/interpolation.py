@@ -1,0 +1,160 @@
+"""High-level interpolation API tying grids, surpluses and kernels together.
+
+:class:`SparseGridInterpolant` is the object the rest of the library works
+with: the OLG time iteration stores one interpolant per discrete shock state
+(holding the 2(A-1) policy/value coefficients) and evaluates it through the
+compressed kernels of :mod:`repro.core.kernels`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.grids.domain import BoxDomain
+from repro.grids.grid import SparseGrid
+from repro.grids.hierarchize import hierarchize
+from repro.grids.regular import regular_sparse_grid
+
+__all__ = ["SparseGridInterpolant"]
+
+
+class SparseGridInterpolant:
+    """A sparse grid together with fitted surpluses and a kernel choice.
+
+    Parameters
+    ----------
+    grid
+        The sparse grid on the unit box.
+    surplus
+        ``(num_points, num_dofs)`` (or ``(num_points,)``) hierarchical
+        surpluses.  May be ``None`` initially and set later via
+        :meth:`fit_values`.
+    domain
+        Optional problem box; query points are mapped onto the unit box
+        before evaluation.  Defaults to the unit box itself.
+    kernel
+        Name of the interpolation kernel (see
+        :func:`repro.core.kernels.list_kernels`); default is the batched
+        compressed kernel, which is the fastest pure-NumPy variant.
+    """
+
+    def __init__(
+        self,
+        grid: SparseGrid,
+        surplus: np.ndarray | None = None,
+        domain: BoxDomain | None = None,
+        kernel: str = "cuda",
+    ) -> None:
+        self.grid = grid
+        self.domain = domain if domain is not None else BoxDomain.cube(grid.dim)
+        if self.domain.dim != grid.dim:
+            raise ValueError("domain dimension must match grid dimension")
+        self.kernel = kernel
+        self._surplus: np.ndarray | None = None
+        self._compressed = None
+        if surplus is not None:
+            self.set_surplus(surplus)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_function(
+        cls,
+        func: Callable[[np.ndarray], np.ndarray],
+        dim: int,
+        level: int = 3,
+        domain: BoxDomain | None = None,
+        kernel: str = "cuda",
+    ) -> "SparseGridInterpolant":
+        """Interpolate ``func`` on a regular sparse grid of the given level."""
+        domain = domain if domain is not None else BoxDomain.cube(dim)
+        grid = regular_sparse_grid(dim, level)
+        values = np.asarray(func(domain.from_unit(grid.points)), dtype=float)
+        interp = cls(grid, domain=domain, kernel=kernel)
+        interp.fit_values(values)
+        return interp
+
+    # ------------------------------------------------------------------ #
+    # surpluses
+    # ------------------------------------------------------------------ #
+    @property
+    def surplus(self) -> np.ndarray:
+        if self._surplus is None:
+            raise RuntimeError("interpolant has no surpluses yet; call fit_values/set_surplus")
+        return self._surplus
+
+    @property
+    def num_dofs(self) -> int:
+        """Number of simultaneously interpolated functions."""
+        s = self.surplus
+        return 1 if s.ndim == 1 else s.shape[1]
+
+    def set_surplus(self, surplus: np.ndarray) -> None:
+        """Attach pre-computed surpluses (invalidates the compressed cache)."""
+        surplus = np.asarray(surplus, dtype=float)
+        if surplus.shape[0] != len(self.grid):
+            raise ValueError(
+                f"surplus has {surplus.shape[0]} rows, grid has {len(self.grid)} points"
+            )
+        self._surplus = surplus
+        self._compressed = None
+
+    def fit_values(self, values: np.ndarray) -> None:
+        """Hierarchize nodal values (ordered like ``grid.points``)."""
+        self.set_surplus(hierarchize(self.grid, values))
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def _ensure_compressed(self):
+        from repro.core.compression import compress_grid
+
+        if self._compressed is None:
+            self._compressed = compress_grid(self.grid)
+        return self._compressed
+
+    def __call__(self, X: np.ndarray, kernel: str | None = None) -> np.ndarray:
+        """Evaluate the interpolant at points of the *problem* box.
+
+        ``X`` has shape ``(m, dim)`` (a single point is also accepted);
+        the result has shape ``(m, num_dofs)`` (or ``(m,)`` for scalar
+        interpolants; a single point yields the corresponding 0-/1-D shape).
+        """
+        from repro.core.kernels import evaluate
+
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        X2 = np.atleast_2d(X)
+        if X2.shape[1] != self.grid.dim:
+            raise ValueError(f"query points must have {self.grid.dim} columns")
+        unit = self.domain.to_unit(X2)
+        surplus = self.surplus
+        scalar = surplus.ndim == 1
+        surplus2 = surplus[:, None] if scalar else surplus
+        comp = self._ensure_compressed()
+        out = evaluate(
+            comp,
+            surplus2,
+            unit,
+            kernel=kernel if kernel is not None else self.kernel,
+        )
+        if scalar:
+            out = out[:, 0]
+        return out[0] if single else out
+
+    def max_error_at(self, func: Callable[[np.ndarray], np.ndarray], X: np.ndarray) -> float:
+        """Maximum absolute interpolation error against ``func`` at ``X``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        exact = np.asarray(func(X), dtype=float)
+        approx = self(X)
+        return float(np.max(np.abs(exact - approx)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ndofs = "unset" if self._surplus is None else self.num_dofs
+        return (
+            f"SparseGridInterpolant(dim={self.grid.dim}, points={len(self.grid)}, "
+            f"dofs={ndofs}, kernel={self.kernel!r})"
+        )

@@ -1,0 +1,127 @@
+"""Construction of regular (non-adaptive) sparse grids :math:`V^S_n`.
+
+The classical sparse grid of level ``n`` in ``d`` dimensions collects all
+hierarchical subspaces ``W_l`` with ``|l|_1 <= n + d - 1`` (paper Eq. 13).
+For the paper's 59-dimensional application the resulting sizes are
+
+=========  ===========
+level ``n``  points
+=========  ===========
+2          119
+3          7,081
+4          281,077
+5          8,378,001
+=========  ===========
+
+which this module reproduces exactly (see ``tests/test_regular.py``).
+
+The enumeration exploits that a level vector of a level-``n`` grid has at
+most ``n - 1`` entries above 1, so we enumerate the *support* (which
+dimensions carry level >= 2) instead of looping over all ``d`` components.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import comb
+
+import numpy as np
+
+from repro.grids.grid import SparseGrid
+from repro.grids.hierarchical import level_indices, num_level_points
+
+__all__ = ["regular_sparse_grid", "regular_grid_size", "level_vectors"]
+
+
+def _excess_compositions(total: int, parts: int):
+    """Yield all tuples of ``parts`` integers >= 1 summing to ``total``.
+
+    Each entry is the *excess* level (level - 1 >= 1) of one active
+    dimension, so a composition corresponds to one admissible assignment of
+    levels >= 2 to an ordered tuple of active dimensions.
+    """
+    if parts == 0:
+        if total == 0:
+            yield ()
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _excess_compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def level_vectors(dim: int, level: int):
+    """Yield all admissible level multi-indices of the regular grid.
+
+    Each yielded value is a tuple ``(active_dims, active_levels)`` where
+    ``active_dims`` are the dimensions with level >= 2 (sorted) and
+    ``active_levels`` their levels; all other dimensions are at level 1.
+    """
+    if dim < 1 or level < 1:
+        raise ValueError("dim and level must be >= 1")
+    max_active = min(dim, level - 1)
+    # k = number of dimensions with level >= 2
+    for k in range(0, max_active + 1):
+        for dims in itertools.combinations(range(dim), k):
+            # excess levels e_t = l_t - 1 >= 1 with sum(e) <= level - 1
+            for total_excess in range(k, level):
+                for comp in _excess_compositions(total_excess, k):
+                    yield dims, tuple(e + 1 for e in comp)
+
+
+def regular_grid_size(dim: int, level: int) -> int:
+    """Closed-form point count of the regular sparse grid (no construction).
+
+    Used by the strong-scaling model (Fig. 8) to size paper-scale workloads
+    without materialising 4.5M-point grids.
+    """
+    if dim < 1 or level < 1:
+        raise ValueError("dim and level must be >= 1")
+    total = 0
+    # group level vectors by the number k of active (level >= 2) dimensions
+    max_active = min(dim, level - 1)
+    for k in range(0, max_active + 1):
+        n_choices = comb(dim, k)
+        if n_choices == 0:
+            continue
+        subtotal = 0
+        for total_excess in range(k, level):
+            for comp in _excess_compositions(total_excess, k):
+                pts = 1
+                for e in comp:
+                    pts *= num_level_points(e + 1)
+                subtotal += pts
+        total += n_choices * subtotal
+    return total
+
+
+def regular_sparse_grid(dim: int, level: int) -> SparseGrid:
+    """Build the classical sparse grid :math:`V^S_n` on ``[0, 1]^dim``.
+
+    Parameters
+    ----------
+    dim
+        Number of dimensions ``d``.
+    level
+        Sparse grid level ``n >= 1``; level 1 is the single midpoint.
+    """
+    levels_rows: list[np.ndarray] = []
+    indices_rows: list[np.ndarray] = []
+    for dims, lvls in level_vectors(dim, level):
+        # index sets of the active dimensions; inactive dimensions are (1, 1)
+        index_sets = [level_indices(l) for l in lvls]
+        if not dims:
+            levels_rows.append(np.ones((1, dim), dtype=np.int32))
+            indices_rows.append(np.ones((1, dim), dtype=np.int32))
+            continue
+        combos = np.array(list(itertools.product(*index_sets)), dtype=np.int32)
+        n = combos.shape[0]
+        lev = np.ones((n, dim), dtype=np.int32)
+        idx = np.ones((n, dim), dtype=np.int32)
+        for col, (t, l) in enumerate(zip(dims, lvls)):
+            lev[:, t] = l
+            idx[:, t] = combos[:, col]
+        levels_rows.append(lev)
+        indices_rows.append(idx)
+    levels = np.vstack(levels_rows)
+    indices = np.vstack(indices_rows)
+    return SparseGrid(dim, levels, indices)

@@ -1,0 +1,69 @@
+"""Fiscal policy: distortionary taxes and the pay-as-you-go pension system.
+
+The paper's application is a public-finance OLG model in which labor income
+taxes fund social security and capital income taxes are levied on asset
+returns (Sec. II).  The tax rates are part of the discrete shock state, so
+all methods here take per-state scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FiscalPolicy", "GovernmentBudget"]
+
+
+@dataclass(frozen=True)
+class GovernmentBudget:
+    """One period's government accounts (per capita of a unit-mass cohort)."""
+
+    pension_benefit: float
+    labor_tax_revenue: float
+    capital_tax_revenue: float
+    lump_sum_transfer: float
+
+
+@dataclass(frozen=True)
+class FiscalPolicy:
+    """Balanced-budget fiscal rule.
+
+    * Labor income is taxed at rate ``tau_labor``; the entire revenue is
+      paid out as a flat pension to the retired cohorts (pay-as-you-go).
+    * Capital income (the net return on savings) is taxed at ``tau_capital``;
+      the revenue is rebated lump sum to all living agents, so the tax is
+      distortionary but the budget stays balanced state by state.
+    """
+
+    rebate_capital_tax: bool = True
+
+    def budget(
+        self,
+        tau_labor: float,
+        tau_capital: float,
+        wage: float,
+        labor_supply: float,
+        return_net: float,
+        aggregate_capital: float,
+        num_agents: int,
+        num_retired: int,
+    ) -> GovernmentBudget:
+        """Compute benefits and transfers that balance the budget."""
+        labor_revenue = tau_labor * wage * labor_supply
+        pension = labor_revenue / num_retired if num_retired > 0 else 0.0
+        capital_revenue = tau_capital * return_net * max(aggregate_capital, 0.0)
+        transfer = (
+            capital_revenue / num_agents if (self.rebate_capital_tax and num_agents) else 0.0
+        )
+        return GovernmentBudget(
+            pension_benefit=float(pension),
+            labor_tax_revenue=float(labor_revenue),
+            capital_tax_revenue=float(capital_revenue),
+            lump_sum_transfer=float(transfer),
+        )
+
+    @staticmethod
+    def after_tax_return(return_net: float, tau_capital: float) -> float:
+        """Gross return factor on savings after capital taxation."""
+        return 1.0 + (1.0 - tau_capital) * return_net

@@ -1,0 +1,157 @@
+"""Discrete shock processes for the OLG model.
+
+The paper's economy has ``Ns = 16`` discrete states representing booms,
+busts and different tax regimes, following a first-order Markov chain.  This
+module provides the :class:`MarkovChain` container plus the standard
+building blocks used to assemble such state spaces: persistent two-point
+chains, Rouwenhorst discretisation of AR(1) productivity, and tensor
+products that combine independent shock components (productivity x labor-tax
+regime x capital-tax regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_probability_matrix
+
+__all__ = ["MarkovChain", "persistent_chain", "rouwenhorst", "tensor_chain"]
+
+
+@dataclass
+class MarkovChain:
+    """A finite first-order Markov chain.
+
+    Attributes
+    ----------
+    transition
+        Row-stochastic ``(n, n)`` matrix; ``transition[z, z']`` is the
+        probability of moving from state ``z`` to ``z'``.
+    labels
+        Optional per-state annotations (e.g. the productivity level and tax
+        rates of each state); stored as a dict of arrays of length ``n``.
+    """
+
+    transition: np.ndarray
+    labels: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.transition = np.asarray(self.transition, dtype=float)
+        check_probability_matrix("transition", self.transition)
+        for key, value in self.labels.items():
+            arr = np.asarray(value)
+            if arr.shape[0] != self.num_states:
+                raise ValueError(
+                    f"label {key!r} has {arr.shape[0]} entries for {self.num_states} states"
+                )
+            self.labels[key] = arr
+
+    @property
+    def num_states(self) -> int:
+        return self.transition.shape[0]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Ergodic distribution (left eigenvector for eigenvalue 1)."""
+        eigvals, eigvecs = np.linalg.eig(self.transition.T)
+        idx = int(np.argmin(np.abs(eigvals - 1.0)))
+        dist = np.real(eigvecs[:, idx])
+        dist = np.abs(dist)
+        return dist / dist.sum()
+
+    def simulate(self, length: int, initial_state: int = 0, rng=None) -> np.ndarray:
+        """Simulate a path of states of the given length."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        gen = default_rng(rng)
+        path = np.empty(length, dtype=np.int64)
+        path[0] = initial_state
+        cdf = np.cumsum(self.transition, axis=1)
+        draws = gen.random(length - 1)
+        for t in range(1, length):
+            path[t] = int(np.searchsorted(cdf[path[t - 1]], draws[t - 1]))
+        return path
+
+    def expectation(self, z: int, values: np.ndarray) -> np.ndarray:
+        """Conditional expectation ``E[values(z') | z]``.
+
+        ``values`` has the state as its first axis; the result drops it.
+        """
+        values = np.asarray(values, dtype=float)
+        return np.tensordot(self.transition[z], values, axes=(0, 0))
+
+    def label(self, key: str) -> np.ndarray:
+        """Per-state values of a named label."""
+        return self.labels[key]
+
+
+def persistent_chain(num_states: int, persistence: float) -> np.ndarray:
+    """Transition matrix with probability ``persistence`` of staying put.
+
+    The remaining mass is spread uniformly over the other states — a simple
+    but standard way of building a persistent aggregate shock process.
+    """
+    if not 0.0 <= persistence <= 1.0:
+        raise ValueError("persistence must lie in [0, 1]")
+    if num_states < 1:
+        raise ValueError("num_states must be >= 1")
+    if num_states == 1:
+        return np.ones((1, 1))
+    off = (1.0 - persistence) / (num_states - 1)
+    pi = np.full((num_states, num_states), off)
+    np.fill_diagonal(pi, persistence)
+    return pi
+
+
+def rouwenhorst(num_states: int, rho: float, sigma: float, mu: float = 0.0):
+    """Rouwenhorst discretisation of an AR(1) process.
+
+    Returns ``(values, transition)`` where ``values`` are the discretised
+    levels of ``y_t = mu + rho (y_{t-1} - mu) + eps_t`` with
+    ``eps ~ N(0, sigma^2)``.  Used to build the productivity component of
+    the paper's 16-state shock process.
+    """
+    if num_states < 2:
+        raise ValueError("num_states must be >= 2")
+    if not -1.0 < rho < 1.0:
+        raise ValueError("rho must lie in (-1, 1)")
+    p = (1.0 + rho) / 2.0
+    pi = np.array([[p, 1 - p], [1 - p, p]])
+    for n in range(3, num_states + 1):
+        top = np.zeros((n, n))
+        top[: n - 1, : n - 1] = p * pi
+        top[: n - 1, 1:] += (1 - p) * pi
+        top[1:, : n - 1] += (1 - p) * pi
+        top[1:, 1:] += p * pi
+        top[1:-1, :] /= 2.0
+        pi = top
+    span = sigma * np.sqrt((num_states - 1) / (1.0 - rho**2))
+    values = mu + np.linspace(-span, span, num_states)
+    return values, pi
+
+
+def tensor_chain(*chains: MarkovChain) -> MarkovChain:
+    """Tensor product of independent Markov chains.
+
+    The combined chain's state index enumerates the factor states in
+    row-major order; labels of the factors are broadcast onto the product
+    space (so e.g. the productivity of combined state ``z`` is still
+    addressable as ``combined.label("productivity")[z]``).
+    """
+    if not chains:
+        raise ValueError("need at least one chain")
+    transition = np.array([[1.0]])
+    shapes = [c.num_states for c in chains]
+    for chain in chains:
+        transition = np.kron(transition, chain.transition)
+    labels: dict[str, np.ndarray] = {}
+    grids = np.meshgrid(*[np.arange(n) for n in shapes], indexing="ij")
+    flat_indices = [g.reshape(-1) for g in grids]
+    for pos, chain in enumerate(chains):
+        for key, values in chain.labels.items():
+            if key in labels:
+                raise ValueError(f"duplicate label {key!r} across factor chains")
+            labels[key] = np.asarray(values)[flat_indices[pos]]
+    return MarkovChain(transition=transition, labels=labels)

@@ -1,0 +1,453 @@
+"""The stochastic OLG model (paper Sec. II) as a time-iteration model.
+
+State convention
+----------------
+The mixed state is ``s = (z, x)`` with ``z`` a discrete Markov shock and
+
+    ``x = (K, omega_2, ..., omega_{A-1})  in  R^{A-1}``
+
+where ``K`` is aggregate capital at the start of the period and ``omega_a``
+is the capital holding of generation ``a`` (ages are 0-based in the code:
+generation ``a`` corresponds to code age ``a - 1``).  Newborns hold nothing
+and the oldest generation's holding is the residual ``K - sum(omega)``
+(floored at zero), which is why only ``A - 2`` individual holdings enter the
+state and ``d = A - 1``.
+
+Policy convention
+-----------------
+Per discrete state and per grid point the model approximates
+``2 (A - 1)`` numbers: the savings (asset demand) functions of ages
+``0 .. A-2`` followed by their value functions, matching the paper's
+"118 coefficients per state and grid point" for ``A = 60``.
+
+Equilibrium conditions
+----------------------
+At a grid point the unknowns are the savings ``k'_a`` of all non-terminal
+ages.  The residuals are the Euler equations
+
+    ``u'(c_a) - beta * E_z'[ R'(z') u'(c'_{a+1}(z')) | z ] = 0``
+
+where next-period consumption interpolates the *next iterate's* policy
+functions of all ``Ns`` shock states (the interpolation bottleneck the
+paper optimises).  Savings are solved in log space, which keeps them
+strictly positive (an interior-solution version of the paper's Ipopt bound
+constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import PolicySet
+from repro.grids.domain import BoxDomain
+from repro.olg.calibration import OLGCalibration
+from repro.olg.government import FiscalPolicy, GovernmentBudget
+from repro.olg.preferences import CRRAUtility
+from repro.olg.production import CobbDouglasTechnology, Prices
+from repro.olg.solver import NewtonSolver
+from repro.utils.rng import default_rng
+
+__all__ = ["OLGModel", "PeriodEnvironment"]
+
+_LOG_SAVINGS_FLOOR = -16.0  # exp(-16) ~ 1e-7: effectively the borrowing constraint
+
+
+@dataclass(frozen=True)
+class PeriodEnvironment:
+    """Everything the household problem needs about one period's aggregates."""
+
+    prices: Prices
+    budget: GovernmentBudget
+    gross_return: float        # 1 + (1 - tau_c) * r_net
+    incomes: np.ndarray        # after-tax non-asset income by age
+
+
+class OLGModel:
+    """Stochastic OLG economy implementing the time-iteration protocol."""
+
+    def __init__(
+        self,
+        calibration: OLGCalibration | None = None,
+        utility: CRRAUtility | None = None,
+        technology: CobbDouglasTechnology | None = None,
+        fiscal: FiscalPolicy | None = None,
+        solver: NewtonSolver | None = None,
+        domain: BoxDomain | None = None,
+    ) -> None:
+        self.calibration = calibration if calibration is not None else OLGCalibration()
+        cal = self.calibration
+        self.utility = utility if utility is not None else CRRAUtility(
+            gamma=cal.gamma, c_min=cal.consumption_floor
+        )
+        self.technology = technology if technology is not None else CobbDouglasTechnology(
+            theta=cal.theta
+        )
+        self.fiscal = fiscal if fiscal is not None else FiscalPolicy()
+        self.solver = solver if solver is not None else NewtonSolver()
+        self._domain = domain if domain is not None else self._default_domain()
+
+    # ------------------------------------------------------------------ #
+    # protocol properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_states(self) -> int:
+        return self.calibration.num_states
+
+    @property
+    def state_dim(self) -> int:
+        return self.calibration.state_dim
+
+    @property
+    def num_ages(self) -> int:
+        return self.calibration.num_generations
+
+    @property
+    def num_savers(self) -> int:
+        """Ages with a savings decision (all but the oldest)."""
+        return self.calibration.num_generations - 1
+
+    @property
+    def num_policies(self) -> int:
+        """Savings plus value function per saving age — 2(A-1) coefficients."""
+        return 2 * self.num_savers
+
+    @property
+    def domain(self) -> BoxDomain:
+        return self._domain
+
+    # ------------------------------------------------------------------ #
+    # aggregates, prices, incomes
+    # ------------------------------------------------------------------ #
+    def _default_domain(self) -> BoxDomain:
+        """Centre the approximation box on the deterministic steady state."""
+        from repro.olg.steady_state import deterministic_steady_state
+
+        cal = self.calibration
+        steady = deterministic_steady_state(
+            cal, technology=self.technology, fiscal=self.fiscal, utility=self.utility
+        )
+        self._steady_state = steady
+        k_ss = max(steady.capital, 1e-3)
+        if cal.capital_bounds is not None:
+            k_lo, k_hi = cal.capital_bounds
+        else:
+            k_lo, k_hi = 0.25 * k_ss, 3.0 * k_ss
+        if cal.holdings_upper is not None:
+            holdings_hi = cal.holdings_upper
+        else:
+            peak_holding = float(np.max(np.maximum(steady.profile.holdings, 0.0)))
+            holdings_hi = max(2.5 * peak_holding, 1.0 * k_ss)
+        lower = np.concatenate([[k_lo], np.zeros(cal.num_generations - 2)])
+        upper = np.concatenate(
+            [[k_hi], np.full(cal.num_generations - 2, holdings_hi)]
+        )
+        return BoxDomain(lower, upper)
+
+    @property
+    def steady_state(self):
+        """Deterministic steady state used to anchor the box and guesses."""
+        if not hasattr(self, "_steady_state"):
+            from repro.olg.steady_state import deterministic_steady_state
+
+            self._steady_state = deterministic_steady_state(
+                self.calibration,
+                technology=self.technology,
+                fiscal=self.fiscal,
+                utility=self.utility,
+            )
+        return self._steady_state
+
+    def environment(self, z: int, K: float) -> PeriodEnvironment:
+        """Prices, government budget and incomes in shock state ``z`` at capital ``K``."""
+        cal = self.calibration
+        shocks = cal.shocks
+        zeta = float(shocks.label("productivity")[z])
+        delta = float(shocks.label("depreciation")[z])
+        tau_l = float(shocks.label("tau_labor")[z])
+        tau_c = float(shocks.label("tau_capital")[z])
+        L = cal.labor_supply
+        prices = self.technology.prices(K, L, zeta, delta)
+        budget = self.fiscal.budget(
+            tau_labor=tau_l,
+            tau_capital=tau_c,
+            wage=prices.wage,
+            labor_supply=L,
+            return_net=prices.return_net,
+            aggregate_capital=K,
+            num_agents=cal.num_generations,
+            num_retired=cal.num_retired,
+        )
+        gross_return = self.fiscal.after_tax_return(prices.return_net, tau_c)
+        incomes = np.empty(cal.num_generations, dtype=float)
+        for age in range(cal.num_generations):
+            if age < cal.retirement_age:
+                incomes[age] = (1.0 - tau_l) * prices.wage * cal.efficiency[age]
+            else:
+                incomes[age] = budget.pension_benefit
+            incomes[age] += budget.lump_sum_transfer
+        return PeriodEnvironment(
+            prices=prices, budget=budget, gross_return=gross_return, incomes=incomes
+        )
+
+    # ------------------------------------------------------------------ #
+    # state packing
+    # ------------------------------------------------------------------ #
+    def unpack_state(self, x: np.ndarray) -> tuple[float, np.ndarray]:
+        """Split a continuous state into aggregate capital and per-age holdings.
+
+        Returns ``(K, holdings)`` where ``holdings`` has length ``A``:
+        newborns hold nothing and the oldest generation's holding is the
+        residual ``K - sum(middle holdings)``, floored at zero.
+        """
+        x = np.asarray(x, dtype=float).reshape(self.state_dim)
+        A = self.calibration.num_generations
+        K = float(x[0])
+        holdings = np.zeros(A, dtype=float)
+        holdings[1 : A - 1] = x[1:]
+        holdings[A - 1] = max(K - float(x[1:].sum()), 0.0)
+        return K, holdings
+
+    def pack_next_state(self, savings: np.ndarray) -> np.ndarray:
+        """Continuous state implied by today's savings decisions.
+
+        ``savings`` has length ``A - 1`` (ages ``0 .. A-2``); tomorrow
+        these agents are ages ``1 .. A-1``, so the new aggregate capital is
+        their sum and the tracked holdings are those of tomorrow's ages
+        ``1 .. A-2`` (i.e. today's savers ``0 .. A-3``).
+        """
+        savings = np.asarray(savings, dtype=float)
+        K_next = float(savings.sum())
+        x_next = np.concatenate([[K_next], savings[: self.num_savers - 1]])
+        # keep the query inside the approximation box
+        return np.clip(x_next, self.domain.lower, self.domain.upper)
+
+    # ------------------------------------------------------------------ #
+    # household problem pieces
+    # ------------------------------------------------------------------ #
+    def consumption_today(
+        self, env: PeriodEnvironment, holdings: np.ndarray, savings: np.ndarray
+    ) -> np.ndarray:
+        """Consumption by age implied by holdings, income and savings choices."""
+        A = self.calibration.num_generations
+        consumption = np.empty(A, dtype=float)
+        resources = env.gross_return * holdings + env.incomes
+        consumption[: A - 1] = resources[: A - 1] - savings
+        consumption[A - 1] = resources[A - 1]
+        return consumption
+
+    def _next_period_consumption(
+        self,
+        z_next: int,
+        savings: np.ndarray,
+        next_policy_values: np.ndarray,
+    ) -> tuple[np.ndarray, PeriodEnvironment]:
+        """Next-period consumption of today's savers in shock state ``z_next``.
+
+        ``next_policy_values`` are the interpolated next-period policy
+        coefficients at tomorrow's state (savings of tomorrow's ages and
+        value functions).
+        """
+        A = self.calibration.num_generations
+        K_next = float(np.sum(savings))
+        env_next = self.environment(z_next, K_next)
+        next_savings = np.maximum(next_policy_values[: self.num_savers], 0.0)
+        consumption = np.empty(self.num_savers, dtype=float)
+        for age in range(self.num_savers):  # today's age; tomorrow they are age + 1
+            age_next = age + 1
+            resources = env_next.gross_return * savings[age] + env_next.incomes[age_next]
+            save_next = next_savings[age_next] if age_next < self.num_savers else 0.0
+            consumption[age] = resources - save_next
+        return consumption, env_next
+
+    # ------------------------------------------------------------------ #
+    # equilibrium conditions
+    # ------------------------------------------------------------------ #
+    def euler_residuals(
+        self,
+        z: int,
+        x: np.ndarray,
+        savings: np.ndarray,
+        policy_next: PolicySet,
+    ) -> np.ndarray:
+        """Euler-equation residuals at one state for candidate savings."""
+        cal = self.calibration
+        savings = np.asarray(savings, dtype=float)
+        K, holdings = self.unpack_state(x)
+        env = self.environment(z, K)
+        consumption = self.consumption_today(env, holdings, savings)
+        mu_today = self.utility.marginal_utility(consumption[: self.num_savers])
+
+        x_next = self.pack_next_state(savings)
+        pi_row = cal.shocks.transition[z]
+        expected = np.zeros(self.num_savers, dtype=float)
+        for z_next in range(self.num_states):
+            prob = pi_row[z_next]
+            if prob <= 0.0:
+                continue
+            next_values = np.asarray(policy_next.evaluate(z_next, x_next), dtype=float)
+            cons_next, env_next = self._next_period_consumption(z_next, savings, next_values)
+            mu_next = self.utility.marginal_utility(cons_next)
+            expected += prob * env_next.gross_return * mu_next
+        return mu_today - cal.beta * expected
+
+    def value_functions(
+        self,
+        z: int,
+        x: np.ndarray,
+        savings: np.ndarray,
+        policy_next: PolicySet,
+    ) -> np.ndarray:
+        """Bellman update of the value functions of all saving ages."""
+        cal = self.calibration
+        K, holdings = self.unpack_state(x)
+        env = self.environment(z, K)
+        consumption = self.consumption_today(env, holdings, savings)
+        utility_today = self.utility.utility(consumption[: self.num_savers])
+
+        x_next = self.pack_next_state(savings)
+        pi_row = cal.shocks.transition[z]
+        continuation = np.zeros(self.num_savers, dtype=float)
+        for z_next in range(self.num_states):
+            prob = pi_row[z_next]
+            if prob <= 0.0:
+                continue
+            next_values = np.asarray(policy_next.evaluate(z_next, x_next), dtype=float)
+            cons_next, _ = self._next_period_consumption(z_next, savings, next_values)
+            value_next = np.empty(self.num_savers, dtype=float)
+            for age in range(self.num_savers):
+                age_next = age + 1
+                if age_next < self.num_savers:
+                    value_next[age] = next_values[self.num_savers + age_next]
+                else:
+                    # tomorrow they are the terminal generation: consume everything
+                    value_next[age] = float(self.utility.utility(cons_next[age]))
+            continuation += prob * value_next
+        return utility_today + cal.beta * continuation
+
+    # ------------------------------------------------------------------ #
+    # time-iteration protocol methods
+    # ------------------------------------------------------------------ #
+    def solve_point(
+        self,
+        z: int,
+        x: np.ndarray,
+        policy_next: PolicySet,
+        guess: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Solve the equilibrium system at one grid point.
+
+        Returns the ``2 (A-1)`` policy coefficients (savings then values).
+        """
+        x = np.asarray(x, dtype=float)
+        savings_guess = self._savings_guess(z, x, guess)
+        log_guess = np.log(np.maximum(savings_guess, np.exp(_LOG_SAVINGS_FLOOR)))
+
+        def residual(log_savings: np.ndarray) -> np.ndarray:
+            savings = np.exp(np.clip(log_savings, _LOG_SAVINGS_FLOOR, 30.0))
+            return self.euler_residuals(z, x, savings, policy_next)
+
+        result = self.solver.solve(residual, log_guess)
+        savings = np.exp(np.clip(result.x, _LOG_SAVINGS_FLOOR, 30.0))
+        values = self.value_functions(z, x, savings, policy_next)
+        return np.concatenate([savings, values])
+
+    def _savings_guess(
+        self, z: int, x: np.ndarray, guess: np.ndarray | None
+    ) -> np.ndarray:
+        if guess is not None:
+            guess = np.asarray(guess, dtype=float).reshape(-1)
+            savings = guess[: self.num_savers]
+            if np.all(np.isfinite(savings)) and np.any(savings > 0):
+                return np.maximum(savings, 1e-8)
+        K, holdings = self.unpack_state(x)
+        env = self.environment(z, K)
+        resources = env.gross_return * holdings + env.incomes
+        rate = 0.4
+        return np.maximum(rate * resources[: self.num_savers], 1e-6)
+
+    def initial_policy_values(self, z: int, X: np.ndarray) -> np.ndarray:
+        """Initial guess anchored on the deterministic steady-state lifecycle.
+
+        Savings are a convex blend of the steady-state savings profile and a
+        fixed rate out of current resources (so the guess still responds to
+        the state); values come from consuming the implied amounts forever.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.empty((X.shape[0], self.num_policies), dtype=float)
+        beta = self.calibration.beta
+        steady_savings = np.maximum(
+            self.steady_state.profile.savings[: self.num_savers], 1e-6
+        )
+        for row, x in enumerate(X):
+            K, holdings = self.unpack_state(x)
+            env = self.environment(z, K)
+            resources = env.gross_return * holdings + env.incomes
+            rate_savings = np.maximum(0.4 * resources[: self.num_savers], 1e-6)
+            savings = 0.5 * steady_savings + 0.5 * rate_savings
+            savings = np.minimum(savings, np.maximum(resources[: self.num_savers] - self.utility.c_min, 1e-6))
+            savings = np.maximum(savings, 1e-6)
+            consumption = np.maximum(
+                resources[: self.num_savers] - savings, self.utility.c_min
+            )
+            values = self.utility.utility(consumption) / (1.0 - beta)
+            out[row] = np.concatenate([savings, values])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # accuracy diagnostics
+    # ------------------------------------------------------------------ #
+    def equilibrium_errors(
+        self, policy: PolicySet, sample: np.ndarray, rng=None
+    ) -> dict:
+        """Unit-free Euler-equation errors of a candidate policy.
+
+        For every sample state and discrete shock, the policy's savings are
+        plugged into the Euler equations with the *same* policy serving as
+        next period's policy; the error of age ``a`` is
+
+            ``| (beta E[R' u'(c'_{a+1})])^(-1/gamma) / c_a - 1 |``
+
+        the standard consumption-equivalent accuracy measure.  Returns the
+        ``linf`` and ``l2`` aggregates plus the mean ``log10`` error, which
+        is what Fig. 9 tracks as the solution error.
+        """
+        sample = np.atleast_2d(np.asarray(sample, dtype=float))
+        cal = self.calibration
+        errors: list[np.ndarray] = []
+        for z in range(self.num_states):
+            values = np.atleast_2d(policy.evaluate(z, sample))
+            for row, x in enumerate(sample):
+                savings = np.maximum(values[row, : self.num_savers], 1e-10)
+                K, holdings = self.unpack_state(x)
+                env = self.environment(z, K)
+                consumption = self.consumption_today(env, holdings, savings)
+                cons_today = np.maximum(
+                    consumption[: self.num_savers], self.utility.c_min
+                )
+                residual = self.euler_residuals(z, x, savings, policy_next=policy)
+                # beta * E[R' u'(c')] = u'(c) - residual
+                rhs = np.maximum(
+                    self.utility.marginal_utility(cons_today) - residual, 1e-12
+                )
+                implied = rhs ** (-1.0 / cal.gamma)
+                errors.append(np.abs(implied / cons_today - 1.0))
+        stacked = np.concatenate(errors) if errors else np.array([np.nan])
+        return {
+            "linf": float(np.max(stacked)),
+            "l2": float(np.sqrt(np.mean(stacked**2))),
+            "mean_log10": float(np.mean(np.log10(np.maximum(stacked, 1e-16)))),
+            "num_evaluations": int(stacked.size),
+        }
+
+    def sample_states(self, n: int, rng=None) -> np.ndarray:
+        """Random continuous states used for accuracy evaluation."""
+        return self.domain.sample(n, default_rng(rng))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cal = self.calibration
+        return (
+            f"OLGModel(A={cal.num_generations}, Ns={cal.num_states}, "
+            f"d={self.state_dim}, policies={self.num_policies})"
+        )

@@ -1,0 +1,92 @@
+"""Household preferences: CRRA utility with a smooth consumption floor.
+
+The equilibrium systems solved at every grid point involve marginal
+utilities of candidate consumption levels that can temporarily dip below
+zero while the Newton iteration searches.  Following common practice the
+utility function is extended below a small floor ``c_min`` by a quadratic
+(for ``u``) / linear (for ``u'``) continuation, which keeps ``u'`` finite,
+strictly decreasing and differentiable, so the solver is pushed back into
+the admissible region instead of crashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CRRAUtility"]
+
+
+@dataclass(frozen=True)
+class CRRAUtility:
+    """Constant-relative-risk-aversion utility ``u(c) = c^(1-gamma)/(1-gamma)``.
+
+    Parameters
+    ----------
+    gamma
+        Relative risk aversion (``gamma = 1`` gives log utility).
+    c_min
+        Floor below which the smooth extension takes over.
+    """
+
+    gamma: float = 2.0
+    c_min: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if self.c_min <= 0:
+            raise ValueError("c_min must be positive")
+
+    # ------------------------------------------------------------------ #
+    # utility and derivatives
+    # ------------------------------------------------------------------ #
+    def utility(self, c) -> np.ndarray:
+        """``u(c)``, quadratically extended below the floor."""
+        c = np.asarray(c, dtype=float)
+        cm = self.c_min
+        safe = np.maximum(c, cm)
+        if self.gamma == 1.0:
+            base = np.log(safe)
+        else:
+            base = (safe ** (1.0 - self.gamma) - 1.0) / (1.0 - self.gamma)
+        # below the floor: u(cm) + u'(cm)(c-cm) + 0.5 u''(cm)(c-cm)^2
+        du = self._mu_at(cm)
+        d2u = -self.gamma * cm ** (-self.gamma - 1.0)
+        delta = c - cm
+        ext = base + du * delta + 0.5 * d2u * delta**2
+        return np.where(c >= cm, base, ext)
+
+    def marginal_utility(self, c) -> np.ndarray:
+        """``u'(c)``, linearly extended below the floor (stays positive-sloped)."""
+        c = np.asarray(c, dtype=float)
+        cm = self.c_min
+        safe = np.maximum(c, cm)
+        base = safe ** (-self.gamma)
+        du = self._mu_at(cm)
+        d2u = -self.gamma * cm ** (-self.gamma - 1.0)
+        ext = du + d2u * (c - cm)
+        return np.where(c >= cm, base, ext)
+
+    def inverse_marginal_utility(self, mu) -> np.ndarray:
+        """``(u')^{-1}(mu)`` on the interior branch (mu must be positive)."""
+        mu = np.asarray(mu, dtype=float)
+        if np.any(mu <= 0):
+            raise ValueError("marginal utility must be positive to invert")
+        return mu ** (-1.0 / self.gamma)
+
+    def _mu_at(self, c: float) -> float:
+        return float(c) ** (-self.gamma)
+
+    def certainty_equivalent(self, values: np.ndarray, probabilities: np.ndarray) -> float:
+        """Certainty-equivalent consumption of a lottery over utility values."""
+        values = np.asarray(values, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=float)
+        expected = float(probabilities @ values)
+        if self.gamma == 1.0:
+            return float(np.exp(expected))
+        inner = expected * (1.0 - self.gamma) + 1.0
+        if inner <= 0:
+            return self.c_min
+        return float(inner ** (1.0 / (1.0 - self.gamma)))

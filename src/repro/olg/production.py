@@ -1,0 +1,66 @@
+"""Cobb-Douglas production technology and factor prices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CobbDouglasTechnology", "Prices"]
+
+
+@dataclass(frozen=True)
+class Prices:
+    """Factor prices implied by the aggregate state."""
+
+    wage: float
+    return_gross: float  # marginal product of capital, before depreciation
+    return_net: float    # after depreciation, before capital taxes
+    output: float
+
+
+@dataclass(frozen=True)
+class CobbDouglasTechnology:
+    """``Y = zeta * K^theta * L^(1-theta)`` with depreciation ``delta``.
+
+    ``zeta`` and ``delta`` may be state dependent; they are passed per call
+    so one technology object serves all discrete shock states.
+    """
+
+    theta: float = 0.33
+    capital_floor: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.theta < 1.0:
+            raise ValueError("theta must lie strictly between 0 and 1")
+
+    def output(self, K: float, L: float, zeta: float = 1.0) -> float:
+        K = max(float(K), self.capital_floor)
+        return float(zeta) * K**self.theta * float(L) ** (1.0 - self.theta)
+
+    def prices(self, K: float, L: float, zeta: float, delta: float) -> Prices:
+        """Competitive factor prices at aggregate capital ``K`` and labor ``L``."""
+        K = max(float(K), self.capital_floor)
+        L = max(float(L), self.capital_floor)
+        ratio = K / L
+        wage = (1.0 - self.theta) * zeta * ratio**self.theta
+        r_gross = self.theta * zeta * ratio ** (self.theta - 1.0)
+        return Prices(
+            wage=float(wage),
+            return_gross=float(r_gross),
+            return_net=float(r_gross - delta),
+            output=self.output(K, L, zeta),
+        )
+
+    def steady_state_capital(
+        self, L: float, zeta: float, delta: float, beta: float
+    ) -> float:
+        """Heuristic steady-state capital used to size the state-space box.
+
+        Uses the representative-agent condition ``1/beta = 1 + r`` to back
+        out the capital/labor ratio; it does not claim to be the OLG
+        steady state, only a sensible centre for the box.
+        """
+        r_target = 1.0 / beta - 1.0 + delta
+        ratio = (self.theta * zeta / r_target) ** (1.0 / (1.0 - self.theta))
+        return float(ratio * L)

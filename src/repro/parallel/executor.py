@@ -1,0 +1,73 @@
+"""Map-style execution backends for the time-iteration driver.
+
+The :class:`repro.core.time_iteration.TimeIterationSolver` only requires an
+object with ``map(fn, items) -> list``; these adapters provide serial,
+thread-pool and process-pool implementations in addition to the
+work-stealing scheduler of :mod:`repro.parallel.scheduler`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["SerialExecutor", "ThreadPoolMapExecutor", "ProcessPoolMapExecutor", "make_executor"]
+
+
+class SerialExecutor:
+    """Single-threaded reference executor."""
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadPoolMapExecutor:
+    """Thread-pool executor (shares memory; NumPy-heavy tasks overlap well)."""
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def map(self, fn, items) -> list:
+        items = list(items)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessPoolMapExecutor:
+    """Process-pool executor for picklable task functions.
+
+    The default time-iteration task closures are not picklable (they close
+    over the model and the policy set), so this backend is intended for
+    user-defined top-level functions — e.g. embarrassingly parallel
+    parameter sweeps over whole model solves.
+    """
+
+    def __init__(self, num_workers: int = 2) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def map(self, fn, items) -> list:
+        items = list(items)
+        if not items:
+            return []
+        with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
+            return list(pool.map(fn, items))
+
+
+def make_executor(kind: str = "serial", num_workers: int = 4):
+    """Factory: ``serial``, ``threads``, ``processes`` or ``stealing``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "threads":
+        return ThreadPoolMapExecutor(num_workers)
+    if kind == "processes":
+        return ProcessPoolMapExecutor(num_workers)
+    if kind == "stealing":
+        from repro.parallel.scheduler import WorkStealingScheduler
+
+        return WorkStealingScheduler(num_workers)
+    raise ValueError(f"unknown executor kind {kind!r}")

@@ -1,0 +1,136 @@
+"""GPU offload executor (substitute for the CUDA offload path).
+
+On Piz Daint the paper dedicates one TBB thread to dispatching interpolation
+batches to the P100 (Fig. 2, bottom).  Without a GPU the closest equivalent
+is to route large interpolation batches through the *batched* compressed
+kernel (the ``cuda`` analog of :mod:`repro.core.kernels`) while small
+batches stay on the per-point CPU kernels, and to account simulated time
+against the node's hardware model so that modeled single-node speedups
+(Fig. 7) can be reported alongside the measured wall times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compression import CompressedGrid
+from repro.core.kernels import evaluate
+from repro.parallel.cluster import NodeSpec, PIZ_DAINT_NODE
+
+__all__ = ["OffloadStats", "GpuOffloadExecutor", "HybridNodeExecutor"]
+
+
+@dataclass
+class OffloadStats:
+    """Bookkeeping of where interpolation work was executed."""
+
+    gpu_batches: int = 0
+    gpu_points: int = 0
+    cpu_batches: int = 0
+    cpu_points: int = 0
+    gpu_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    @property
+    def offload_fraction(self) -> float:
+        total = self.gpu_points + self.cpu_points
+        return self.gpu_points / total if total else 0.0
+
+
+@dataclass
+class GpuOffloadExecutor:
+    """Routes interpolation batches to the "device" or the host kernels.
+
+    Parameters
+    ----------
+    node
+        Hardware model used for the simulated-time accounting.
+    min_gpu_batch
+        Batches with at least this many query points are offloaded
+        (dispatch latency makes tiny batches cheaper on the CPU, the same
+        trade-off the paper reports for the "7k" test case).
+    gpu_kernel, cpu_kernel
+        Kernel names used for offloaded / host execution.
+    """
+
+    node: NodeSpec = PIZ_DAINT_NODE
+    min_gpu_batch: int = 32
+    gpu_kernel: str = "cuda"
+    cpu_kernel: str = "avx2"
+    stats: OffloadStats = field(default_factory=OffloadStats)
+
+    def interpolate(
+        self, comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate a batch, choosing the execution target by batch size."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        use_gpu = self.node.has_gpu and X.shape[0] >= self.min_gpu_batch
+        import time
+
+        t0 = time.perf_counter()
+        out = evaluate(
+            comp, surplus, X, kernel=self.gpu_kernel if use_gpu else self.cpu_kernel
+        )
+        elapsed = time.perf_counter() - t0
+        if use_gpu:
+            self.stats.gpu_batches += 1
+            self.stats.gpu_points += X.shape[0]
+            self.stats.gpu_seconds += elapsed
+        else:
+            self.stats.cpu_batches += 1
+            self.stats.cpu_points += X.shape[0]
+            self.stats.cpu_seconds += elapsed
+        return out
+
+    def reset_stats(self) -> None:
+        self.stats = OffloadStats()
+
+
+@dataclass
+class HybridNodeExecutor:
+    """Cost model of one heterogeneous node executing a set of point solves.
+
+    This is the *modeled* (not measured) single-node execution used by the
+    Fig. 7 and Fig. 8 experiments: given per-point workloads expressed in
+    reference-thread seconds, it reports how long one node takes in a given
+    configuration (single thread, all CPU threads, CPU + GPU).
+    """
+
+    node: NodeSpec = PIZ_DAINT_NODE
+
+    def execution_time(
+        self,
+        point_costs: np.ndarray,
+        threads: int | None = None,
+        use_gpu: bool = False,
+        dispatch_overhead: float = 0.0,
+    ) -> float:
+        """Simulated wall time to process all points on this node.
+
+        ``point_costs`` are per-point costs in reference-thread seconds.
+        The node processes them with aggregate throughput
+        ``node_throughput(threads, use_gpu)``; granularity is respected by
+        never beating the longest single task divided by the single-thread
+        speed.
+        """
+        costs = np.asarray(point_costs, dtype=float)
+        if costs.size == 0:
+            return dispatch_overhead
+        throughput = self.node.node_throughput(use_gpu=use_gpu, threads=threads)
+        ideal = float(costs.sum()) / throughput
+        critical_path = float(costs.max()) / self.node.single_thread_speed
+        return max(ideal, critical_path) + dispatch_overhead
+
+    def speedup(
+        self,
+        point_costs: np.ndarray,
+        threads: int | None = None,
+        use_gpu: bool = False,
+        baseline_threads: int = 1,
+    ) -> float:
+        """Speedup of a node configuration over the single-thread baseline."""
+        baseline = self.execution_time(point_costs, threads=baseline_threads, use_gpu=False)
+        variant = self.execution_time(point_costs, threads=threads, use_gpu=use_gpu)
+        return baseline / variant if variant > 0 else float("inf")

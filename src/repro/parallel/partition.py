@@ -1,0 +1,90 @@
+"""Workload partitioning rules (paper Sec. IV-A).
+
+The top layer of parallelism assigns MPI processes to the ``Ns`` discrete
+states proportionally to each state's previous-iteration grid size ``M_z``:
+
+    ``size(z) = M_z / sum_j M_j * total``
+
+The paper's own example: with ``M = (200, 100)`` points and 3 processes,
+state 1 receives 2 processes and state 2 receives 1.  The function below
+implements that rule with a largest-remainder rounding so the sizes always
+sum to the total, and guarantees one process per state whenever
+``total >= num_states``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["proportional_group_sizes", "partition_counts", "load_imbalance"]
+
+
+def proportional_group_sizes(points_per_state: list[int] | np.ndarray, total: int) -> np.ndarray:
+    """MPI group sizes proportional to per-state grid sizes.
+
+    Parameters
+    ----------
+    points_per_state
+        ``M_z`` for every discrete state (must be non-negative, not all 0).
+    total
+        Total number of MPI processes to distribute.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer group sizes summing to ``total``.  If ``total`` is at least
+        the number of states, every state receives at least one process.
+    """
+    weights = np.asarray(points_per_state, dtype=float)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("points_per_state must be a non-empty 1-D sequence")
+    if np.any(weights < 0):
+        raise ValueError("points_per_state must be non-negative")
+    if total < 1:
+        raise ValueError("total must be >= 1")
+    n = weights.size
+    if weights.sum() == 0:
+        weights = np.ones(n)
+
+    guarantee_min = total >= n
+    shares = weights / weights.sum() * total
+    sizes = np.floor(shares).astype(np.int64)
+    if guarantee_min:
+        sizes = np.maximum(sizes, 1)
+    # distribute the remaining processes by largest fractional remainder
+    remainder = total - int(sizes.sum())
+    if remainder > 0:
+        frac = shares - np.floor(shares)
+        order = np.argsort(-frac, kind="stable")
+        for i in range(remainder):
+            sizes[order[i % n]] += 1
+    elif remainder < 0:
+        # the min-1 guarantee overshot: take processes back from the largest groups
+        order = np.argsort(-sizes, kind="stable")
+        i = 0
+        while remainder < 0:
+            idx = order[i % n]
+            if sizes[idx] > 1:
+                sizes[idx] -= 1
+                remainder += 1
+            i += 1
+    return sizes
+
+
+def partition_counts(num_items: int, num_parts: int) -> np.ndarray:
+    """Split ``num_items`` into ``num_parts`` nearly equal integer counts."""
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    base = num_items // num_parts
+    extra = num_items % num_parts
+    return np.asarray([base + (1 if i < extra else 0) for i in range(num_parts)], dtype=np.int64)
+
+
+def load_imbalance(loads: np.ndarray) -> float:
+    """Relative load imbalance ``max / mean - 1`` (0 means perfectly balanced)."""
+    loads = np.asarray(loads, dtype=float)
+    if loads.size == 0 or loads.sum() == 0:
+        return 0.0
+    return float(loads.max() / loads.mean() - 1.0)

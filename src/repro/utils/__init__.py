@@ -1,0 +1,23 @@
+"""Shared utilities: timers, RNG helpers, validation, logging."""
+
+from repro.utils.timing import Timer, WallClock
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_probability_matrix,
+    check_shape,
+    check_in_unit_box,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "Timer",
+    "WallClock",
+    "default_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_probability_matrix",
+    "check_shape",
+    "check_in_unit_box",
+    "get_logger",
+]

@@ -1,0 +1,31 @@
+"""Logging configuration for the library.
+
+The library never configures the root logger; it only creates namespaced
+children under ``repro`` so applications stay in control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a library logger; ``name`` is appended under the ``repro`` root."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the ``repro`` logger (idempotent).
+
+    Intended for examples and benchmark scripts, not for library code.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)

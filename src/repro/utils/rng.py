@@ -1,0 +1,35 @@
+"""Deterministic random-number helpers.
+
+Everything in the library that needs randomness accepts either an integer
+seed or a :class:`numpy.random.Generator`.  These helpers normalise that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed
+        ``None`` (non-deterministic), an integer seed, or an existing
+        generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent child generators.
+
+    Used to give each simulated MPI rank / worker thread its own stream
+    so results do not depend on execution order.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    ss = np.random.SeedSequence(seed if not isinstance(seed, np.random.Generator) else None)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,77 @@
+"""Lightweight timing helpers used by benchmarks and cost models."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the start mark (useful when reusing a Timer in a loop)."""
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+
+    def lap(self) -> float:
+        """Return seconds since the last ``restart``/``__enter__``."""
+        return time.perf_counter() - self._start
+
+
+class WallClock:
+    """Accumulating wall-clock with named sections.
+
+    The time-iteration driver uses this to attribute time to phases
+    (grid construction, point solves, hierarchization, interpolation).
+    """
+
+    def __init__(self) -> None:
+        self.sections: dict[str, float] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        self.sections[name] = self.sections.get(name, 0.0) + float(seconds)
+
+    def section(self, name: str):
+        """Return a context manager accumulating into ``name``."""
+        clock = self
+
+        class _Section:
+            def __enter__(self):
+                self._t0 = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc):
+                clock.add(name, time.perf_counter() - self._t0)
+
+        return _Section()
+
+    @property
+    def total(self) -> float:
+        return sum(self.sections.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.sections)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.3g}s" for k, v in self.sections.items())
+        return f"WallClock({parts})"

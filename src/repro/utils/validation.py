@@ -1,0 +1,46 @@
+"""Argument validation helpers shared across subpackages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is (strictly) positive."""
+    arr = np.asarray(value, dtype=float)
+    bad = arr <= 0 if strict else arr < 0
+    if np.any(bad):
+        kind = "strictly positive" if strict else "non-negative"
+        raise ValueError(f"{name} must be {kind}, got {value!r}")
+
+
+def check_probability_matrix(name: str, pi: np.ndarray, atol: float = 1e-10) -> None:
+    """Validate that ``pi`` is a row-stochastic square matrix."""
+    pi = np.asarray(pi, dtype=float)
+    if pi.ndim != 2 or pi.shape[0] != pi.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {pi.shape}")
+    if np.any(pi < -atol):
+        raise ValueError(f"{name} has negative entries")
+    rows = pi.sum(axis=1)
+    if not np.allclose(rows, 1.0, atol=1e-8):
+        raise ValueError(f"{name} rows must sum to 1, got sums {rows}")
+
+
+def check_shape(name: str, arr: np.ndarray, shape: tuple) -> None:
+    """Validate an exact array shape (use ``None`` as a wildcard axis)."""
+    arr = np.asarray(arr)
+    if len(arr.shape) != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} axes, got shape {arr.shape}")
+    for got, want in zip(arr.shape, shape):
+        if want is not None and got != want:
+            raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+
+
+def check_in_unit_box(name: str, x: np.ndarray, atol: float = 1e-12) -> None:
+    """Validate that all coordinates lie in ``[0, 1]`` (up to ``atol``)."""
+    x = np.asarray(x, dtype=float)
+    if x.size and (x.min() < -atol or x.max() > 1.0 + atol):
+        raise ValueError(
+            f"{name} must lie in the unit box, got range "
+            f"[{x.min():.6g}, {x.max():.6g}]"
+        )

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compression import compress_grid
+from repro.core.time_iteration import TimeIterationConfig, TimeIterationSolver
+from repro.grids.hierarchize import hierarchize
+from repro.grids.regular import regular_sparse_grid
+from repro.olg.calibration import small_calibration
+from repro.olg.model import OLGModel
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def grid_3d_level3():
+    """Small regular sparse grid reused across kernel/compression tests."""
+    return regular_sparse_grid(3, 3)
+
+
+@pytest.fixture(scope="session")
+def grid_5d_level4():
+    return regular_sparse_grid(5, 4)
+
+
+@pytest.fixture(scope="session")
+def fitted_grid_5d(grid_5d_level4):
+    """Grid plus surpluses of a smooth multi-dof test function."""
+    grid = grid_5d_level4
+
+    def func(X):
+        return np.stack(
+            [
+                np.sin(2.0 * X[:, 0]) + X[:, 1] ** 2,
+                0.5 * X[:, 2] * X[:, 3] - X[:, 4],
+                np.exp(-np.sum((X - 0.5) ** 2, axis=1)),
+            ],
+            axis=1,
+        )
+
+    values = func(grid.points)
+    surplus = hierarchize(grid, values)
+    return grid, surplus, func
+
+
+@pytest.fixture(scope="session")
+def compressed_5d(fitted_grid_5d):
+    grid, surplus, func = fitted_grid_5d
+    return compress_grid(grid), surplus, func
+
+
+@pytest.fixture(scope="session")
+def small_olg_model():
+    """Tiny OLG economy used by the model and integration tests."""
+    cal = small_calibration(num_generations=4, num_states=2, beta=0.8)
+    return OLGModel(cal)
+
+
+@pytest.fixture(scope="session")
+def solved_small_olg(small_olg_model):
+    """A converged (loose tolerance) time-iteration solution, shared by tests."""
+    config = TimeIterationConfig(
+        grid_level=2, tolerance=2e-3, max_iterations=30, convergence_metric="rel_linf"
+    )
+    solver = TimeIterationSolver(small_olg_model, config)
+    result = solver.solve()
+    return small_olg_model, result

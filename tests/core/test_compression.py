@@ -1,0 +1,178 @@
+"""Tests for the ASG index compression pipeline (paper Sec. IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import (
+    CompressedGrid,
+    compress_grid,
+    compression_stats,
+    decompose,
+)
+from repro.grids.adaptive import refine
+from repro.grids.hierarchize import hierarchize
+from repro.grids.regular import regular_sparse_grid
+
+
+class TestDecomposition:
+    def test_nfreq_matches_max_active_dimensions(self):
+        # a level-n regular grid has at most n-1 dimensions above level 1
+        for dim, level in [(3, 3), (5, 4), (10, 3)]:
+            grid = regular_sparse_grid(dim, level)
+            deco = decompose(grid)
+            assert deco.nfreq == level - 1
+
+    def test_each_freq_has_at_most_one_entry_per_point(self):
+        grid = regular_sparse_grid(4, 4)
+        deco = decompose(grid)
+        for entries in deco.freq_entries:
+            points = [e.point for e in entries]
+            assert len(points) == len(set(points))
+
+    def test_entries_reconstruct_nontrivial_indices(self):
+        grid = regular_sparse_grid(3, 4)
+        deco = decompose(grid)
+        rebuilt = {}
+        for entries in deco.freq_entries:
+            for e in entries:
+                rebuilt.setdefault(e.point, []).append((e.dim, e.level, e.index))
+        for point in range(len(grid)):
+            expected = [
+                (t, int(grid.levels[point, t]), int(grid.indices[point, t]))
+                for t in range(grid.dim)
+                if grid.levels[point, t] >= 2
+            ]
+            assert sorted(rebuilt.get(point, [])) == sorted(expected)
+
+    def test_positions_and_transitions_are_consistent(self):
+        grid = regular_sparse_grid(3, 3)
+        deco = decompose(grid)
+        for f in range(deco.nfreq - 1):
+            for point in range(len(grid)):
+                here = deco.positions[f, point]
+                nxt = deco.positions[f + 1, point]
+                if here >= 0:
+                    assert deco.transitions[f, here] == nxt
+
+    def test_root_only_grid(self):
+        grid = regular_sparse_grid(3, 1)
+        deco = decompose(grid)
+        assert deco.num_nonzero == 0
+        assert deco.nfreq == 1
+
+
+class TestCompressedGrid:
+    def test_xps_counts_match_paper_for_59d(self):
+        """Table I: 237 xps for the level-3 grid (236 factors + sentinel)."""
+        grid = regular_sparse_grid(59, 3)
+        comp = compress_grid(grid)
+        assert comp.num_xps == 237
+        assert comp.nfreq == 2
+
+    def test_xps_unique(self):
+        grid = regular_sparse_grid(4, 4)
+        comp = compress_grid(grid)
+        triples = list(zip(comp.xps_dims[1:], comp.xps_levels[1:], comp.xps_indices[1:]))
+        assert len(triples) == len(set(triples))
+
+    def test_chain_sentinel_is_zero_for_root(self):
+        grid = regular_sparse_grid(3, 3)
+        comp = compress_grid(grid)
+        # the root point (all levels 1) has an all-sentinel chain
+        original_row = grid.index_of([1, 1, 1], [1, 1, 1])
+        reordered_row = int(np.where(comp.order == original_row)[0][0])
+        assert np.all(comp.chains[reordered_row] == 0)
+
+    def test_chains_reference_valid_xps(self):
+        grid = regular_sparse_grid(5, 3)
+        comp = compress_grid(grid)
+        assert comp.chains.min() >= 0
+        assert comp.chains.max() < comp.num_xps
+
+    def test_order_is_permutation(self):
+        grid = regular_sparse_grid(4, 3)
+        comp = compress_grid(grid)
+        assert sorted(comp.order.tolist()) == list(range(len(grid)))
+
+    def test_chain_reconstructs_multiindex(self):
+        """Following a chain reproduces the point's non-trivial (dim, l, i)."""
+        grid = regular_sparse_grid(4, 4)
+        comp = compress_grid(grid)
+        for new_row in range(comp.num_points):
+            original = comp.order[new_row]
+            expected = {
+                (t, int(grid.levels[original, t]), int(grid.indices[original, t]))
+                for t in range(grid.dim)
+                if grid.levels[original, t] >= 2
+            }
+            got = set()
+            for f in range(comp.nfreq):
+                ref = comp.chains[new_row, f]
+                if ref == 0:
+                    continue
+                got.add(
+                    (
+                        int(comp.xps_dims[ref]),
+                        int(comp.xps_levels[ref]),
+                        int(comp.xps_indices[ref]),
+                    )
+                )
+            assert got == expected
+
+    def test_reorder_roundtrip(self):
+        grid = regular_sparse_grid(3, 3)
+        comp = compress_grid(grid)
+        surplus = np.arange(len(grid) * 2, dtype=float).reshape(len(grid), 2)
+        reordered = comp.reorder(surplus)
+        # row k of the reordered matrix is original row order[k]
+        np.testing.assert_allclose(reordered, surplus[comp.order])
+        # applying the inverse permutation restores the original matrix
+        np.testing.assert_allclose(reordered[np.argsort(comp.order)], surplus)
+
+    def test_reorder_wrong_rows_raises(self):
+        grid = regular_sparse_grid(3, 2)
+        comp = compress_grid(grid)
+        with pytest.raises(ValueError):
+            comp.reorder(np.zeros((len(grid) + 1, 2)))
+
+    def test_compression_ratio_formula(self):
+        grid = regular_sparse_grid(10, 3)
+        comp = compress_grid(grid)
+        assert comp.compression_ratio == pytest.approx(10 / comp.nfreq)
+
+    def test_works_on_adaptive_grid(self):
+        grid = regular_sparse_grid(3, 2)
+        values = np.abs(grid.points[:, 0] - 0.35)
+        surplus = hierarchize(grid, values)
+        refine(grid, surplus, epsilon=0.0)
+        comp = compress_grid(grid)
+        assert comp.num_points == len(grid)
+        assert comp.nfreq >= 1
+
+
+class TestStats:
+    def test_stats_keys(self):
+        grid = regular_sparse_grid(4, 3)
+        stats = compression_stats(grid)
+        for key in (
+            "num_points",
+            "dim",
+            "nfreq",
+            "num_xps",
+            "zeros_fraction",
+            "compression_ratio",
+            "xps_table_bytes",
+        ):
+            assert key in stats
+
+    def test_zeros_fraction_high_in_high_dimensions(self):
+        """Most multi-index entries are trivial in high dimensions (Fig. 3)."""
+        grid = regular_sparse_grid(30, 3)
+        stats = compression_stats(grid)
+        assert stats["zeros_fraction"] > 0.9
+
+    def test_xps_table_fits_gpu_shared_memory(self):
+        """The paper stresses the factor table fits in 48 KB of shared memory."""
+        grid = regular_sparse_grid(59, 3)
+        comp = compress_grid(grid)
+        assert comp.xps_table_bytes(8) < 48 * 1024

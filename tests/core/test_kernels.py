@@ -1,0 +1,139 @@
+"""Tests for the interpolation kernel ladder (paper Sec. V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import compress_grid
+from repro.core.kernels import (
+    evaluate,
+    factor_values,
+    get_kernel,
+    kernel_avx512,
+    kernel_cuda,
+    list_kernels,
+)
+from repro.grids.hierarchize import evaluate_dense, hierarchize
+from repro.grids.regular import regular_sparse_grid
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = regular_sparse_grid(4, 4)
+    rng = np.random.default_rng(7)
+
+    def func(X):
+        return np.stack(
+            [np.sin(X[:, 0] * 3) + X[:, 1], X[:, 2] ** 2 - 0.5 * X[:, 3]], axis=1
+        )
+
+    surplus = hierarchize(grid, func(grid.points))
+    comp = compress_grid(grid)
+    queries = rng.random((37, 4))
+    return grid, comp, surplus, queries, func
+
+
+class TestRegistry:
+    def test_paper_kernel_names_present(self):
+        names = list_kernels()
+        for expected in ("gold", "x86", "avx", "avx2", "avx512", "cuda"):
+            assert expected in names
+
+    def test_get_kernel_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("sse2")
+
+    def test_get_kernel_returns_callable(self):
+        assert callable(get_kernel("gold"))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kernel", ["gold", "x86", "avx", "avx2", "avx512", "cuda"])
+    def test_matches_dense_reference(self, setup, kernel):
+        grid, comp, surplus, queries, _ = setup
+        expected = evaluate_dense(grid, surplus, queries)
+        got = evaluate(comp, surplus, queries, kernel=kernel)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", list_kernels())
+    def test_exact_at_grid_points(self, setup, kernel):
+        grid, comp, surplus, _, func = setup
+        got = evaluate(comp, surplus, grid.points, kernel=kernel)
+        np.testing.assert_allclose(got, func(grid.points), atol=1e-10)
+
+    def test_scalar_surplus_roundtrip(self, setup):
+        grid, comp, _, queries, _ = setup
+        surplus_1d = hierarchize(grid, grid.points[:, 0] * 2.0)
+        out = evaluate(comp, surplus_1d, queries, kernel="cuda")
+        assert out.shape == (queries.shape[0],)
+        np.testing.assert_allclose(out, queries[:, 0] * 2.0, atol=1e-10)
+
+    def test_single_query_point(self, setup):
+        grid, comp, surplus, _, _ = setup
+        out = evaluate(comp, surplus, np.full((1, 4), 0.5), kernel="avx")
+        assert out.shape == (1, surplus.shape[1])
+
+    def test_kernels_agree_on_adaptive_grid(self):
+        from repro.grids.adaptive import refine
+
+        grid = regular_sparse_grid(3, 2)
+        values = np.abs(grid.points[:, 0] - 0.4) + grid.points[:, 1]
+        surplus = hierarchize(grid, values)
+        refine(grid, surplus, epsilon=0.0)
+        values = np.abs(grid.points[:, 0] - 0.4) + grid.points[:, 1]
+        surplus = hierarchize(grid, values)
+        comp = compress_grid(grid)
+        queries = np.random.default_rng(1).random((19, 3))
+        reference = evaluate(comp, surplus, queries, kernel="gold")
+        for kernel in list_kernels():
+            np.testing.assert_allclose(
+                evaluate(comp, surplus, queries, kernel=kernel), reference, atol=1e-12
+            )
+
+
+class TestValidation:
+    def test_wrong_surplus_rows(self, setup):
+        _, comp, _, queries, _ = setup
+        with pytest.raises(ValueError):
+            evaluate(comp, np.zeros((3, 2)), queries, kernel="x86")
+
+    def test_wrong_query_columns(self, setup):
+        _, comp, surplus, _, _ = setup
+        with pytest.raises(ValueError):
+            evaluate(comp, surplus, np.zeros((5, 7)), kernel="x86")
+
+
+class TestFactorValues:
+    def test_sentinel_column_is_one(self, setup):
+        _, comp, _, queries, _ = setup
+        xpv = factor_values(comp, queries)
+        np.testing.assert_allclose(xpv[:, 0], 1.0)
+
+    def test_values_in_unit_interval(self, setup):
+        _, comp, _, queries, _ = setup
+        xpv = factor_values(comp, queries)
+        assert xpv.min() >= 0.0
+        assert xpv.max() <= 1.0 + 1e-12
+
+    def test_shape(self, setup):
+        _, comp, _, queries, _ = setup
+        assert factor_values(comp, queries).shape == (queries.shape[0], comp.num_xps)
+
+
+class TestKernelOptions:
+    def test_avx512_thread_counts_agree(self, setup):
+        _, comp, surplus, queries, _ = setup
+        one = kernel_avx512(comp, surplus, queries, num_threads=1)
+        four = kernel_avx512(comp, surplus, queries, num_threads=4)
+        np.testing.assert_allclose(one, four, atol=1e-12)
+
+    def test_cuda_block_sizes_agree(self, setup):
+        _, comp, surplus, queries, _ = setup
+        small = kernel_cuda(comp, surplus, queries, block=2)
+        large = kernel_cuda(comp, surplus, queries, block=512)
+        np.testing.assert_allclose(small, large, atol=1e-12)
+
+    def test_cuda_memory_budget_shrinks_block(self, setup):
+        _, comp, surplus, queries, _ = setup
+        tiny = kernel_cuda(comp, surplus, queries, memory_budget_mb=0.01)
+        normal = kernel_cuda(comp, surplus, queries)
+        np.testing.assert_allclose(tiny, normal, atol=1e-12)

@@ -1,0 +1,58 @@
+"""Tests for the Fig. 7 single-node experiment harness."""
+
+import pytest
+
+from repro.experiments.fig7 import PAPER_FIG7, format_fig7, run_fig7
+
+
+@pytest.fixture(scope="module")
+def result():
+    # the smallest meaningful instance: enough points for the modeled node
+    # speedups to saturate is not required here, only harness correctness
+    return run_fig7(num_generations=4, num_states=2, grid_level=2, num_threads=2)
+
+
+class TestFig7:
+    def test_variant_names_present(self, result):
+        names = [v.name for v in result.variants]
+        assert any("1 thread" in n for n in names)
+        assert any("work stealing" in n for n in names)
+        assert any("piz daint" in n for n in names)
+        assert any("grand tave" in n for n in names)
+
+    def test_baseline_speedup_is_one(self, result):
+        assert result.variant("host: 1 thread").speedup == pytest.approx(1.0)
+
+    def test_modeled_knl_anchor(self, result):
+        """The Grand Tave entry carries the paper's ~96x own-thread speedup."""
+        knl = [v for v in result.variants if "grand tave: KNL" in v.name][0]
+        assert knl.speedup == pytest.approx(
+            PAPER_FIG7["grand_tave_node_speedup_own_thread"], rel=0.05
+        )
+
+    def test_modeled_daint_gpu_faster_than_cpu_only(self, result):
+        cpu = [v for v in result.variants if "all CPU cores" in v.name][0]
+        gpu = [v for v in result.variants if "CPU + GPU" in v.name][0]
+        assert gpu.speedup >= cpu.speedup
+
+    def test_wall_times_positive(self, result):
+        for v in result.variants:
+            assert v.wall_time > 0
+
+    def test_total_points_counted(self, result):
+        # level-2 grid in d=3 has 2*3+1 = 7 points per state, 2 states
+        assert result.total_points == 2 * 7
+
+    def test_saturated_instance_hits_25x_anchor(self):
+        """With enough grid points per node, the modeled Piz Daint node speedup
+        reaches the paper's ~25x."""
+        result = run_fig7(num_generations=6, num_states=4, grid_level=2, num_threads=2)
+        gpu = [v for v in result.variants if "CPU + GPU" in v.name][0]
+        assert gpu.speedup == pytest.approx(
+            PAPER_FIG7["piz_daint_node_speedup"], rel=0.05
+        )
+
+    def test_format_output(self, result):
+        text = format_fig7(result)
+        assert "wall time" in text
+        assert "paper anchors" in text

@@ -1,0 +1,54 @@
+"""Tests for the Fig. 8 strong-scaling experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig8 import DEFAULT_NODE_COUNTS, PAPER_FIG8, format_fig8, run_fig8
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig8()
+
+
+class TestFig8:
+    def test_node_counts_match_paper_axis(self, result):
+        np.testing.assert_array_equal(result.node_counts, DEFAULT_NODE_COUNTS)
+
+    def test_single_node_time_matches_paper(self, result):
+        assert result.single_node_seconds == pytest.approx(
+            PAPER_FIG8["single_node_seconds"], rel=0.01
+        )
+
+    def test_efficiency_at_4096_near_paper_value(self, result):
+        assert result.efficiency_at_max_nodes == pytest.approx(
+            PAPER_FIG8["efficiency_at_4096"], abs=0.07
+        )
+
+    def test_normalized_total_decreases(self, result):
+        assert np.all(np.diff(result.normalized_total) < 0)
+        assert result.normalized_total[0] == pytest.approx(1.0)
+
+    def test_total_above_ideal(self, result):
+        assert np.all(result.normalized_total >= result.normalized_ideal - 1e-12)
+
+    def test_per_level_series_present(self, result):
+        assert set(result.normalized_levels) == {3, 4}
+        # level 4 dominates the single-node time
+        assert result.normalized_levels[4][0] > result.normalized_levels[3][0]
+
+    def test_level3_efficiency_worse_than_level4_at_scale(self, result):
+        l3 = result.normalized_levels[3]
+        l4 = result.normalized_levels[4]
+        # speedup achieved by each level from 1 to 4096 nodes
+        assert l4[0] / l4[-1] > l3[0] / l3[-1]
+
+    def test_custom_node_counts(self):
+        small = run_fig8(node_counts=(1, 2, 8))
+        assert small.node_counts.tolist() == [1, 2, 8]
+
+    def test_format_output(self, result):
+        text = format_fig8(result)
+        assert "4096" in text
+        assert "efficiency" in text
+        assert "20,4" in text  # the single-node seconds

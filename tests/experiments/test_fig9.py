@@ -1,0 +1,73 @@
+"""Tests for the Fig. 9 convergence experiment harness (scaled-down settings)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+
+
+@pytest.fixture(scope="module")
+def result():
+    # the smallest configuration that still exercises both a regular stage and
+    # one adaptive stage
+    return run_fig9(
+        num_generations=4,
+        num_states=2,
+        grid_level=2,
+        refinement_epsilons=(1e-1,),
+        max_refine_level=3,
+        max_points_per_state=60,
+        stage_tolerance=5e-3,
+        max_iterations_per_stage=6,
+        num_error_samples=8,
+        seed=3,
+    )
+
+
+class TestFig9:
+    def test_series_have_consistent_lengths(self, result):
+        n = result.num_iterations
+        assert n > 0
+        assert result.error_l2.shape == (n,)
+        assert result.error_linf.shape == (n,)
+        assert result.cumulative_time.shape == (n,)
+        assert len(result.points_per_state) == n
+
+    def test_two_stages_recorded(self, result):
+        assert set(np.unique(result.stages)) == {0, 1}
+        assert len(result.stage_epsilons) == 2
+        assert len(result.converged_stages) == 2
+
+    def test_cumulative_time_increasing(self, result):
+        assert np.all(np.diff(result.cumulative_time) > 0)
+
+    def test_errors_finite_and_positive(self, result):
+        assert np.all(np.isfinite(result.error_l2))
+        assert np.all(result.error_l2 > 0)
+        assert np.all(result.error_linf >= result.error_l2)
+
+    def test_adaptive_stage_error_not_worse_than_coarse_stage(self, result):
+        """Refinement stages do not degrade the converged accuracy.
+
+        (The raw iteration-1 error can be *lower* than later iterations on
+        very coarse grids, because the initial guess is artificially
+        self-consistent; the meaningful comparison is between stage-final
+        errors, which is what the paper's staged epsilon schedule targets.)
+        """
+        finals = result.stage_final_errors("l2")
+        assert finals[-1] <= finals[0] * 1.05
+
+    def test_adaptive_stage_adds_points(self, result):
+        first_stage_points = result.points_per_state[0]
+        last_points = result.final_points_per_state
+        assert sum(last_points) >= sum(first_stage_points)
+
+    def test_stage_final_errors_non_increasing(self, result):
+        finals = result.stage_final_errors("l2")
+        assert finals[-1] <= finals[0] * 1.05  # allow tiny numerical wiggle
+
+    def test_format_output(self, result):
+        text = format_fig9(result)
+        assert "euler L2" in text
+        assert "stage" in text
+        assert "paper anchors" in text

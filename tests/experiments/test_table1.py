@@ -1,0 +1,40 @@
+"""Tests for the Table I experiment harness."""
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+class TestTable1:
+    def test_level3_row_matches_paper_exactly(self):
+        """The reproduction hits the paper's Table I numbers for the 7k case."""
+        rows = run_table1(levels=(3,))
+        row = rows[0]
+        assert row.num_points == PAPER_TABLE1[3]["nno"] == 7_081
+        assert row.xps_per_state == PAPER_TABLE1[3]["xps_per_state"] == 237
+        assert row.dim == 59
+        assert row.num_states == 16
+
+    def test_point_counts_without_building(self):
+        rows = run_table1(levels=(3, 4), build_grids=False)
+        assert rows[0].num_points == 7_081
+        assert rows[1].num_points == 281_077
+        assert rows[1].paper_num_points == 281_077
+
+    def test_smaller_dimension_variant(self):
+        rows = run_table1(dim=10, levels=(3,))
+        assert rows[0].paper_num_points is None
+        assert rows[0].num_points > 0
+        assert rows[0].nfreq == 2
+
+    def test_format_contains_paper_columns(self):
+        rows = run_table1(levels=(3,))
+        text = format_table1(rows)
+        assert "7k" in text
+        assert "237" in text
+        assert "7081" in text
+
+    def test_zeros_fraction_close_to_paper_quote(self):
+        """Sec. IV-B quotes ~96.8% zero content after the re-coding."""
+        rows = run_table1(levels=(3,))
+        assert rows[0].zeros_fraction == pytest.approx(0.967, abs=0.01)

@@ -1,0 +1,52 @@
+"""Tests for the Table II / Fig. 6 kernel benchmark harness."""
+
+import pytest
+
+from repro.experiments.table2_fig6 import PAPER_TABLE2, format_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    # a small grid keeps the test fast while exercising the full harness
+    return run_table2(dim=12, levels=(3,), num_dofs=8, num_queries=20, repeats=1)
+
+
+class TestTable2:
+    def test_all_paper_kernels_timed(self, small_run):
+        exp = small_run[0]
+        names = [t.kernel for t in exp.timings]
+        for kernel in ("gold", "x86", "avx", "avx2", "avx512", "cuda"):
+            assert kernel in names
+
+    def test_gold_speedup_is_one(self, small_run):
+        assert small_run[0].timing("gold").speedup_vs_gold == pytest.approx(1.0)
+
+    def test_compressed_kernels_beat_gold(self, small_run):
+        """The headline result: the compressed layout is faster than the dense one."""
+        exp = small_run[0]
+        for kernel in ("x86", "avx2", "cuda"):
+            assert exp.timing(kernel).speedup_vs_gold > 1.0
+
+    def test_timings_positive(self, small_run):
+        for t in small_run[0].timings:
+            assert t.seconds_per_query > 0
+
+    def test_paper_reference_attached_for_59d(self):
+        run = run_table2(dim=59, levels=(3,), num_dofs=4, num_queries=5, repeats=1,
+                         kernels=("gold", "cuda"))
+        timing = run[0].timing("cuda")
+        assert timing.paper_seconds_per_query == PAPER_TABLE2["7k"]["cuda"]
+        assert timing.paper_speedup_vs_gold == pytest.approx(
+            PAPER_TABLE2["7k"]["gold"] / PAPER_TABLE2["7k"]["cuda"]
+        )
+
+    def test_kernel_subset_selection(self):
+        run = run_table2(dim=8, levels=(2,), num_dofs=2, num_queries=5, repeats=1,
+                         kernels=("gold", "x86"))
+        assert len(run[0].timings) == 2
+
+    def test_format_output(self, small_run):
+        text = format_table2(small_run)
+        assert "kernel" in text
+        assert "gold" in text
+        assert "speedup" in text

@@ -1,0 +1,157 @@
+"""Tests for adaptive sparse grid refinement."""
+
+import numpy as np
+import pytest
+
+from repro.grids.adaptive import (
+    AdaptiveRefiner,
+    child_points,
+    complete_ancestors,
+    refine,
+    refinement_candidates,
+    surplus_indicator,
+)
+from repro.grids.grid import SparseGrid
+from repro.grids.hierarchize import evaluate_dense, hierarchize
+from repro.grids.regular import regular_sparse_grid
+
+
+def _kink(X):
+    """A function with a localized kink, the textbook case for adaptivity."""
+    return np.abs(X[:, 0] - 0.3) + 0.1 * X[:, 1]
+
+
+class TestIndicator:
+    def test_scalar_surplus(self):
+        s = np.array([1.0, -2.0, 0.5])
+        np.testing.assert_allclose(surplus_indicator(s), [1.0, 2.0, 0.5])
+
+    def test_multidof_takes_max(self):
+        s = np.array([[1.0, -3.0], [0.1, 0.2]])
+        np.testing.assert_allclose(surplus_indicator(s), [3.0, 0.2])
+
+
+class TestCandidates:
+    def test_threshold_filters(self):
+        grid = regular_sparse_grid(2, 2)
+        surplus = np.zeros(len(grid))
+        surplus[0] = 1.0
+        rows = refinement_candidates(grid, surplus, epsilon=0.5)
+        np.testing.assert_array_equal(rows, [0])
+
+    def test_zero_threshold_flags_everything(self):
+        grid = regular_sparse_grid(2, 2)
+        surplus = np.full(len(grid), 0.1)
+        assert refinement_candidates(grid, surplus, 0.0).size == len(grid)
+
+    def test_max_level_excludes_deep_points(self):
+        grid = regular_sparse_grid(1, 3)
+        surplus = np.ones(len(grid))
+        rows = refinement_candidates(grid, surplus, 0.0, max_level=2)
+        assert np.all(grid.levels[rows].max(axis=1) < 2 + 1)
+
+    def test_negative_epsilon_raises(self):
+        grid = regular_sparse_grid(2, 2)
+        with pytest.raises(ValueError):
+            refinement_candidates(grid, np.zeros(len(grid)), -1.0)
+
+    def test_mismatched_surplus_raises(self):
+        grid = regular_sparse_grid(2, 2)
+        with pytest.raises(ValueError):
+            refinement_candidates(grid, np.zeros(3), 0.1)
+
+
+class TestChildren:
+    def test_two_children_per_dimension(self):
+        grid = regular_sparse_grid(3, 1)
+        lev, idx = child_points(grid, np.array([0]))
+        # the root has 2 children per dimension
+        assert lev.shape == (6, 3)
+
+    def test_no_rows_no_children(self):
+        grid = regular_sparse_grid(2, 2)
+        lev, idx = child_points(grid, np.array([], dtype=int))
+        assert lev.shape == (0, 2)
+
+
+class TestCompleteAncestors:
+    def test_inserts_missing_parents(self):
+        # a grid with a deep point but no intermediate ancestors
+        levels = np.array([[1, 1], [4, 1]])
+        indices = np.array([[1, 1], [1, 1]])
+        grid = SparseGrid(2, levels, indices)
+        added = complete_ancestors(grid)
+        assert added.size >= 2
+        assert grid.contains([2, 1], [0, 1])
+        assert grid.contains([3, 1], [1, 1])
+
+    def test_complete_grid_unchanged(self):
+        grid = regular_sparse_grid(3, 3)
+        assert complete_ancestors(grid).size == 0
+
+
+class TestRefine:
+    def test_refine_grows_grid(self):
+        grid = regular_sparse_grid(2, 2)
+        surplus = np.ones(len(grid))
+        new_rows = refine(grid, surplus, epsilon=0.5)
+        assert new_rows.size > 0
+        assert len(grid) > 5
+
+    def test_refined_grid_remains_consistent(self):
+        grid = regular_sparse_grid(2, 2)
+        values = _kink(grid.points)
+        surplus = hierarchize(grid, values)
+        refine(grid, surplus, epsilon=1e-3)
+        # hierarchical consistency: every parent of every point is present
+        assert complete_ancestors(grid).size == 0
+
+    def test_high_threshold_is_noop(self):
+        grid = regular_sparse_grid(2, 3)
+        values = _kink(grid.points)
+        surplus = hierarchize(grid, values)
+        new_rows = refine(grid, surplus, epsilon=1e6)
+        assert new_rows.size == 0
+
+    def test_max_level_respected(self):
+        grid = regular_sparse_grid(2, 2)
+        for _ in range(5):
+            surplus = np.ones((len(grid), 1))
+            refine(grid, surplus, epsilon=0.0, max_level=3)
+        assert grid.levels.max() <= 3
+
+
+class TestAdaptiveRefiner:
+    def test_build_approximates_kink_better_than_regular(self):
+        refiner = AdaptiveRefiner(epsilon=2e-3, max_level=7, max_points=600)
+        grid, surplus = refiner.build(_kink, dim=2, initial_level=2)
+        regular = regular_sparse_grid(2, 4)
+        reg_surplus = hierarchize(regular, _kink(regular.points))
+
+        rng = np.random.default_rng(0)
+        sample = rng.random((300, 2))
+        exact = _kink(sample)
+        adaptive_err = np.abs(evaluate_dense(grid, surplus, sample) - exact).max()
+        regular_err = np.abs(evaluate_dense(regular, reg_surplus, sample) - exact).max()
+        # the adaptive grid should not be (much) worse and concentrates points
+        assert adaptive_err <= regular_err * 1.5
+
+    def test_points_concentrate_near_kink(self):
+        refiner = AdaptiveRefiner(epsilon=2e-3, max_level=7, max_points=600)
+        grid, _ = refiner.build(_kink, dim=2, initial_level=2)
+        deep = grid.levels[:, 0] >= 5
+        if deep.any():
+            x_deep = grid.points[deep, 0]
+            assert np.median(np.abs(x_deep - 0.3)) < 0.2
+
+    def test_max_points_cap(self):
+        refiner = AdaptiveRefiner(epsilon=0.0, max_level=10, max_points=50)
+        grid, _ = refiner.build(_kink, dim=2, initial_level=2)
+        # one refinement sweep may overshoot the cap, but not by orders of magnitude
+        assert len(grid) < 500
+
+    def test_exact_at_grid_points(self):
+        refiner = AdaptiveRefiner(epsilon=1e-2, max_level=5, max_points=300)
+        grid, surplus = refiner.build(_kink, dim=2)
+        values = evaluate_dense(grid, surplus, grid.points)
+        np.testing.assert_allclose(values, _kink(grid.points), atol=1e-10)

@@ -1,0 +1,89 @@
+"""Tests for the high-level SparseGridInterpolant API."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import list_kernels
+from repro.grids.domain import BoxDomain
+from repro.grids.interpolation import SparseGridInterpolant
+from repro.grids.regular import regular_sparse_grid
+
+
+def _func(X):
+    return np.cos(X[:, 0]) + X[:, 1] * X[:, 0]
+
+
+class TestFromFunction:
+    def test_exact_at_grid_points(self):
+        domain = BoxDomain([0.0, -1.0], [2.0, 1.0])
+        interp = SparseGridInterpolant.from_function(_func, dim=2, level=4, domain=domain)
+        pts = domain.from_unit(interp.grid.points)
+        np.testing.assert_allclose(interp(pts), _func(pts), atol=1e-10)
+
+    def test_reasonable_off_grid(self):
+        domain = BoxDomain([0.0, -1.0], [2.0, 1.0])
+        interp = SparseGridInterpolant.from_function(_func, dim=2, level=5, domain=domain)
+        sample = domain.sample(100, rng=0)
+        err = interp.max_error_at(_func, sample)
+        assert err < 0.05
+
+    def test_single_point_query(self):
+        interp = SparseGridInterpolant.from_function(_func, dim=2, level=3)
+        out = interp(np.array([0.3, 0.7]))
+        assert np.isscalar(out) or out.ndim == 0
+
+
+class TestSurplusManagement:
+    def test_unset_surplus_raises(self):
+        grid = regular_sparse_grid(2, 2)
+        interp = SparseGridInterpolant(grid)
+        with pytest.raises(RuntimeError):
+            interp(np.array([[0.5, 0.5]]))
+
+    def test_wrong_surplus_rows_raise(self):
+        grid = regular_sparse_grid(2, 2)
+        interp = SparseGridInterpolant(grid)
+        with pytest.raises(ValueError):
+            interp.set_surplus(np.zeros(len(grid) + 2))
+
+    def test_num_dofs(self):
+        grid = regular_sparse_grid(2, 2)
+        interp = SparseGridInterpolant(grid, surplus=np.zeros((len(grid), 4)))
+        assert interp.num_dofs == 4
+        interp2 = SparseGridInterpolant(grid, surplus=np.zeros(len(grid)))
+        assert interp2.num_dofs == 1
+
+    def test_domain_dim_mismatch_raises(self):
+        grid = regular_sparse_grid(2, 2)
+        with pytest.raises(ValueError):
+            SparseGridInterpolant(grid, domain=BoxDomain.cube(3))
+
+
+class TestKernelDispatch:
+    @pytest.mark.parametrize("kernel", list_kernels())
+    def test_all_kernels_agree(self, kernel):
+        interp = SparseGridInterpolant.from_function(_func, dim=2, level=4)
+        sample = np.random.default_rng(2).random((23, 2))
+        reference = interp(sample, kernel="gold")
+        np.testing.assert_allclose(interp(sample, kernel=kernel), reference, atol=1e-12)
+
+    def test_unknown_kernel_raises(self):
+        interp = SparseGridInterpolant.from_function(_func, dim=2, level=2)
+        with pytest.raises(KeyError):
+            interp(np.array([[0.5, 0.5]]), kernel="does-not-exist")
+
+    def test_multidof_output_shape(self):
+        grid = regular_sparse_grid(3, 3)
+
+        def vec_func(X):
+            return np.stack([X[:, 0], X[:, 1] ** 2, X.sum(axis=1)], axis=1)
+
+        interp = SparseGridInterpolant(grid)
+        interp.fit_values(vec_func(grid.points))
+        out = interp(np.random.default_rng(0).random((11, 3)))
+        assert out.shape == (11, 3)
+
+    def test_wrong_query_dim_raises(self):
+        interp = SparseGridInterpolant.from_function(_func, dim=2, level=2)
+        with pytest.raises(ValueError):
+            interp(np.zeros((3, 5)))

@@ -1,0 +1,113 @@
+"""Tests for sparse grid quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.grids.domain import BoxDomain
+from repro.grids.hierarchize import hierarchize
+from repro.grids.interpolation import SparseGridInterpolant
+from repro.grids.quadrature import (
+    basis_integral_1d,
+    basis_integrals,
+    integrate,
+    integrate_interpolant,
+    mean_value,
+)
+from repro.grids.regular import regular_sparse_grid
+
+
+class TestBasisIntegrals:
+    def test_level_one_is_one(self):
+        assert basis_integral_1d(1, 1) == 1.0
+
+    def test_boundary_half_hats(self):
+        assert basis_integral_1d(2, 0) == pytest.approx(0.25)
+        assert basis_integral_1d(2, 2) == pytest.approx(0.25)
+
+    def test_interior_hats(self):
+        assert basis_integral_1d(3, 1) == pytest.approx(0.25)
+        assert basis_integral_1d(4, 3) == pytest.approx(0.125)
+
+    def test_matches_numerical_quadrature(self):
+        from repro.grids.hierarchical import basis_1d, level_indices
+
+        xs = np.linspace(0.0, 1.0, 20_001)
+        for level in range(1, 6):
+            for i in level_indices(level):
+                numeric = np.trapezoid([basis_1d(float(x), level, i) for x in xs], xs)
+                assert basis_integral_1d(level, i) == pytest.approx(numeric, abs=1e-4)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            basis_integral_1d(0, 1)
+
+    def test_multivariate_products(self):
+        grid = regular_sparse_grid(3, 3)
+        weights = basis_integrals(grid)
+        assert weights.shape == (len(grid),)
+        root = grid.index_of([1, 1, 1], [1, 1, 1])
+        assert weights[root] == pytest.approx(1.0)
+
+
+class TestIntegrate:
+    def test_constant_function(self):
+        grid = regular_sparse_grid(4, 3)
+        surplus = hierarchize(grid, np.full(len(grid), 2.5))
+        assert integrate(grid, surplus) == pytest.approx(2.5)
+
+    def test_linear_function_exact(self):
+        """Multilinear functions integrate exactly on level >= 2 grids."""
+        grid = regular_sparse_grid(2, 2)
+        values = 3.0 * grid.points[:, 0] + grid.points[:, 1]
+        surplus = hierarchize(grid, values)
+        assert integrate(grid, surplus) == pytest.approx(1.5 + 0.5)
+
+    def test_smooth_function_converges(self):
+        exact = (1.0 - np.cos(1.0)) ** 2  # int_0^1 sin(x) dx, squared for 2-D product
+        errors = []
+        for level in (3, 5, 7):
+            grid = regular_sparse_grid(2, level)
+            values = np.sin(grid.points[:, 0]) * np.sin(grid.points[:, 1])
+            surplus = hierarchize(grid, values)
+            errors.append(abs(integrate(grid, surplus) - exact))
+        assert errors[1] < errors[0]
+        assert errors[2] < errors[1]
+
+    def test_multidof_integration(self):
+        grid = regular_sparse_grid(3, 3)
+        values = np.stack([np.full(len(grid), 1.0), grid.points[:, 0]], axis=1)
+        surplus = hierarchize(grid, values)
+        out = integrate(grid, surplus)
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(0.5)
+
+    def test_domain_scaling(self):
+        grid = regular_sparse_grid(2, 3)
+        domain = BoxDomain([0.0, 0.0], [2.0, 3.0])
+        surplus = hierarchize(grid, np.full(len(grid), 1.0))
+        assert integrate(grid, surplus, domain) == pytest.approx(6.0)
+
+    def test_mean_value_equals_unit_box_integral(self):
+        grid = regular_sparse_grid(2, 3)
+        values = grid.points[:, 0] ** 2
+        surplus = hierarchize(grid, values)
+        assert mean_value(grid, surplus) == pytest.approx(integrate(grid, surplus))
+
+    def test_surplus_rows_mismatch(self):
+        grid = regular_sparse_grid(2, 2)
+        with pytest.raises(ValueError):
+            integrate(grid, np.zeros(3))
+
+    def test_domain_dim_mismatch(self):
+        grid = regular_sparse_grid(2, 2)
+        surplus = np.zeros(len(grid))
+        with pytest.raises(ValueError):
+            integrate(grid, surplus, BoxDomain.cube(3))
+
+    def test_integrate_interpolant(self):
+        domain = BoxDomain([1.0, 1.0], [3.0, 2.0])
+        interp = SparseGridInterpolant.from_function(
+            lambda X: np.ones(X.shape[0]), dim=2, level=3, domain=domain
+        )
+        assert integrate_interpolant(interp) == pytest.approx(2.0)

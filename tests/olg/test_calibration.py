@@ -1,0 +1,106 @@
+"""Tests for the OLG calibrations."""
+
+import numpy as np
+import pytest
+
+from repro.olg.calibration import (
+    OLGCalibration,
+    default_efficiency_profile,
+    paper_calibration,
+    small_calibration,
+)
+
+
+class TestDefaults:
+    def test_default_calibration_is_valid(self):
+        cal = OLGCalibration()
+        assert cal.state_dim == cal.num_generations - 1
+        assert cal.num_states >= 1
+        assert cal.labor_supply > 0
+
+    def test_efficiency_profile_shape(self):
+        profile = default_efficiency_profile(10, 7)
+        assert profile.shape == (10,)
+        np.testing.assert_allclose(profile[7:], 0.0)
+        assert profile[:7].mean() == pytest.approx(1.0)
+
+    def test_workers_plus_retired_cover_lifetime(self):
+        cal = OLGCalibration(num_generations=8, retirement_age=5)
+        assert cal.num_workers + cal.num_retired == cal.num_generations
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OLGCalibration(num_generations=2)
+        with pytest.raises(ValueError):
+            OLGCalibration(retirement_age=0)
+        with pytest.raises(ValueError):
+            OLGCalibration(beta=-0.1)
+        with pytest.raises(ValueError):
+            OLGCalibration(beta=2.0)
+
+    def test_wrong_efficiency_length_rejected(self):
+        with pytest.raises(ValueError):
+            OLGCalibration(num_generations=6, efficiency=np.ones(5))
+
+    def test_shock_labels_required(self):
+        from repro.olg.markov import MarkovChain
+
+        incomplete = MarkovChain(np.eye(2), labels={"productivity": np.ones(2)})
+        with pytest.raises(ValueError):
+            OLGCalibration(shocks=incomplete)
+
+
+class TestSmallCalibration:
+    def test_dimensions(self):
+        cal = small_calibration(num_generations=6, num_states=3)
+        assert cal.num_generations == 6
+        assert cal.num_states == 3
+        assert cal.state_dim == 5
+
+    def test_single_state(self):
+        cal = small_calibration(num_states=1)
+        assert cal.num_states == 1
+        np.testing.assert_allclose(cal.shocks.transition, [[1.0]])
+
+    def test_stochastic_taxes_double_states(self):
+        cal = small_calibration(num_states=2, stochastic_taxes=True)
+        assert cal.num_states == 4
+        taus = cal.shocks.label("tau_labor")
+        assert len(np.unique(taus)) == 2
+
+    def test_productivity_mean_near_one(self):
+        cal = small_calibration(num_states=5)
+        assert cal.mean_productivity() == pytest.approx(1.0, rel=0.02)
+
+    def test_invalid_states(self):
+        with pytest.raises(ValueError):
+            small_calibration(num_states=0)
+
+
+class TestPaperCalibration:
+    def test_paper_dimensions(self):
+        """The paper: A = 60 generations, 59-dim state, 16 shock states."""
+        cal = paper_calibration()
+        assert cal.num_generations == 60
+        assert cal.state_dim == 59
+        assert cal.num_states == 16
+        # retirement at model age 46 <-> calendar age 66
+        assert cal.retirement_age == 46
+        assert cal.num_retired == 14
+
+    def test_paper_policy_count_matches_118_coefficients(self):
+        """2 (A-1) = 118 coefficients per state and grid point (Sec. IV fn. 2)."""
+        from repro.olg.model import OLGModel
+
+        cal = paper_calibration()
+        # constructing the OLGModel itself computes the steady state, which is
+        # cheap even for A = 60
+        model = OLGModel(cal)
+        assert model.num_policies == 118
+        assert model.state_dim == 59
+
+    def test_paper_tax_regimes(self):
+        cal = paper_calibration()
+        assert len(np.unique(cal.shocks.label("tau_labor"))) == 2
+        assert len(np.unique(cal.shocks.label("tau_capital"))) == 2
+        assert len(np.unique(cal.shocks.label("productivity"))) == 4

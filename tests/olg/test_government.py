@@ -1,0 +1,62 @@
+"""Tests for the fiscal policy block."""
+
+import pytest
+
+from repro.olg.government import FiscalPolicy
+
+
+class TestBudget:
+    def test_pension_financed_by_labor_tax(self):
+        fiscal = FiscalPolicy()
+        budget = fiscal.budget(
+            tau_labor=0.2,
+            tau_capital=0.0,
+            wage=1.5,
+            labor_supply=3.0,
+            return_net=0.05,
+            aggregate_capital=2.0,
+            num_agents=6,
+            num_retired=2,
+        )
+        assert budget.labor_tax_revenue == pytest.approx(0.2 * 1.5 * 3.0)
+        assert budget.pension_benefit == pytest.approx(budget.labor_tax_revenue / 2)
+
+    def test_budget_balance(self):
+        """Pension outlays exactly exhaust labor tax revenue (pay-as-you-go)."""
+        fiscal = FiscalPolicy()
+        budget = fiscal.budget(0.15, 0.1, 1.0, 4.0, 0.04, 3.0, 10, 3)
+        assert budget.pension_benefit * 3 == pytest.approx(budget.labor_tax_revenue)
+        assert budget.lump_sum_transfer * 10 == pytest.approx(budget.capital_tax_revenue)
+
+    def test_no_retirees_no_pension(self):
+        fiscal = FiscalPolicy()
+        budget = fiscal.budget(0.2, 0.0, 1.0, 2.0, 0.05, 1.0, 5, 0)
+        assert budget.pension_benefit == 0.0
+
+    def test_capital_tax_rebate_off(self):
+        fiscal = FiscalPolicy(rebate_capital_tax=False)
+        budget = fiscal.budget(0.1, 0.3, 1.0, 2.0, 0.05, 4.0, 6, 2)
+        assert budget.lump_sum_transfer == 0.0
+        assert budget.capital_tax_revenue > 0.0
+
+    def test_negative_return_gives_capital_subsidy(self):
+        fiscal = FiscalPolicy()
+        budget = fiscal.budget(0.1, 0.3, 1.0, 2.0, -0.02, 4.0, 6, 2)
+        assert budget.capital_tax_revenue < 0.0
+
+    def test_zero_capital_tax(self):
+        fiscal = FiscalPolicy()
+        budget = fiscal.budget(0.1, 0.0, 1.0, 2.0, 0.05, 4.0, 6, 2)
+        assert budget.capital_tax_revenue == 0.0
+        assert budget.lump_sum_transfer == 0.0
+
+
+class TestAfterTaxReturn:
+    def test_no_tax(self):
+        assert FiscalPolicy.after_tax_return(0.05, 0.0) == pytest.approx(1.05)
+
+    def test_with_tax(self):
+        assert FiscalPolicy.after_tax_return(0.10, 0.3) == pytest.approx(1.07)
+
+    def test_full_tax_removes_return(self):
+        assert FiscalPolicy.after_tax_return(0.10, 1.0) == pytest.approx(1.0)

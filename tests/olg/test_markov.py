@@ -1,0 +1,144 @@
+"""Tests for the discrete shock process building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.olg.markov import MarkovChain, persistent_chain, rouwenhorst, tensor_chain
+
+
+class TestMarkovChain:
+    def test_rejects_non_stochastic_matrix(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_rejects_wrong_label_length(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.eye(2), labels={"productivity": np.array([1.0])})
+
+    def test_stationary_distribution_sums_to_one(self):
+        chain = MarkovChain(persistent_chain(4, 0.7))
+        dist = chain.stationary_distribution()
+        assert dist.shape == (4,)
+        assert dist.sum() == pytest.approx(1.0)
+        # symmetric chain: uniform stationary distribution
+        np.testing.assert_allclose(dist, 0.25, atol=1e-10)
+
+    def test_stationary_distribution_is_invariant(self):
+        values, pi = rouwenhorst(5, rho=0.6, sigma=0.1)
+        chain = MarkovChain(pi)
+        dist = chain.stationary_distribution()
+        np.testing.assert_allclose(dist @ chain.transition, dist, atol=1e-10)
+
+    def test_simulate_path_properties(self):
+        chain = MarkovChain(persistent_chain(3, 0.9))
+        path = chain.simulate(500, initial_state=1, rng=0)
+        assert path.shape == (500,)
+        assert path[0] == 1
+        assert set(np.unique(path)) <= {0, 1, 2}
+
+    def test_simulate_is_persistent(self):
+        chain = MarkovChain(persistent_chain(2, 0.95))
+        path = chain.simulate(2000, rng=3)
+        stays = np.mean(path[1:] == path[:-1])
+        assert stays > 0.85
+
+    def test_simulate_deterministic_with_seed(self):
+        chain = MarkovChain(persistent_chain(3, 0.5))
+        np.testing.assert_array_equal(chain.simulate(50, rng=11), chain.simulate(50, rng=11))
+
+    def test_expectation_matches_manual(self):
+        chain = MarkovChain(np.array([[0.7, 0.3], [0.4, 0.6]]))
+        values = np.array([1.0, 5.0])
+        assert chain.expectation(0, values) == pytest.approx(0.7 * 1.0 + 0.3 * 5.0)
+
+    def test_expectation_over_arrays(self):
+        chain = MarkovChain(np.array([[0.5, 0.5], [0.2, 0.8]]))
+        values = np.arange(6, dtype=float).reshape(2, 3)
+        out = chain.expectation(1, values)
+        np.testing.assert_allclose(out, 0.2 * values[0] + 0.8 * values[1])
+
+    def test_invalid_simulate_length(self):
+        chain = MarkovChain(np.eye(2))
+        with pytest.raises(ValueError):
+            chain.simulate(0)
+
+
+class TestBuilders:
+    def test_persistent_chain_rows(self):
+        pi = persistent_chain(4, 0.6)
+        np.testing.assert_allclose(pi.sum(axis=1), 1.0)
+        np.testing.assert_allclose(np.diag(pi), 0.6)
+
+    def test_persistent_chain_single_state(self):
+        np.testing.assert_allclose(persistent_chain(1, 0.3), [[1.0]])
+
+    def test_persistent_chain_invalid(self):
+        with pytest.raises(ValueError):
+            persistent_chain(3, 1.5)
+        with pytest.raises(ValueError):
+            persistent_chain(0, 0.5)
+
+    def test_rouwenhorst_is_stochastic(self):
+        for n in (2, 3, 5, 7):
+            values, pi = rouwenhorst(n, rho=0.8, sigma=0.05)
+            np.testing.assert_allclose(pi.sum(axis=1), 1.0, atol=1e-12)
+            assert values.shape == (n,)
+            assert np.all(np.diff(values) > 0)
+
+    def test_rouwenhorst_matches_ar1_persistence(self):
+        """The discretised chain reproduces the AR(1) autocorrelation."""
+        rho = 0.7
+        values, pi = rouwenhorst(7, rho=rho, sigma=0.1)
+        chain = MarkovChain(pi)
+        dist = chain.stationary_distribution()
+        mean = dist @ values
+        var = dist @ (values - mean) ** 2
+        # E[y' y] via the transition matrix
+        cross = sum(
+            dist[i] * pi[i, j] * (values[i] - mean) * (values[j] - mean)
+            for i in range(7)
+            for j in range(7)
+        )
+        assert cross / var == pytest.approx(rho, abs=1e-6)
+
+    def test_rouwenhorst_invalid(self):
+        with pytest.raises(ValueError):
+            rouwenhorst(1, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            rouwenhorst(3, 1.0, 0.1)
+
+    def test_tensor_chain_structure(self):
+        prod = MarkovChain(
+            persistent_chain(2, 0.8), labels={"productivity": np.array([0.9, 1.1])}
+        )
+        tax = MarkovChain(
+            persistent_chain(2, 0.9), labels={"tau_labor": np.array([0.1, 0.2])}
+        )
+        combined = tensor_chain(prod, tax)
+        assert combined.num_states == 4
+        np.testing.assert_allclose(combined.transition.sum(axis=1), 1.0)
+        # state ordering is row-major: (prod, tax)
+        np.testing.assert_allclose(
+            combined.label("productivity"), [0.9, 0.9, 1.1, 1.1]
+        )
+        np.testing.assert_allclose(combined.label("tau_labor"), [0.1, 0.2, 0.1, 0.2])
+
+    def test_tensor_chain_duplicate_labels_raise(self):
+        a = MarkovChain(np.eye(2), labels={"x": np.array([1.0, 2.0])})
+        b = MarkovChain(np.eye(2), labels={"x": np.array([3.0, 4.0])})
+        with pytest.raises(ValueError):
+            tensor_chain(a, b)
+
+    def test_paper_16_state_construction(self):
+        """4 productivity x 2 labor-tax x 2 capital-tax states = 16."""
+        from repro.olg.calibration import paper_calibration
+
+        cal = paper_calibration()
+        assert cal.num_states == 16
+        assert cal.state_dim == 59
+        for key in ("productivity", "depreciation", "tau_labor", "tau_capital"):
+            assert cal.shocks.label(key).shape == (16,)

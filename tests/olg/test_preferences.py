@@ -1,0 +1,75 @@
+"""Tests for CRRA utility with the smooth consumption floor."""
+
+import numpy as np
+import pytest
+
+from repro.olg.preferences import CRRAUtility
+
+
+class TestUtility:
+    def test_matches_crra_formula(self):
+        u = CRRAUtility(gamma=2.0)
+        c = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(u.utility(c), (c**-1 - 1.0) / -1.0)
+
+    def test_log_utility_case(self):
+        u = CRRAUtility(gamma=1.0)
+        c = np.array([0.5, 1.0, 3.0])
+        np.testing.assert_allclose(u.utility(c), np.log(c))
+
+    def test_marginal_utility_formula(self):
+        u = CRRAUtility(gamma=3.0)
+        c = np.array([0.4, 1.0, 2.5])
+        np.testing.assert_allclose(u.marginal_utility(c), c**-3.0)
+
+    def test_utility_is_increasing_and_concave(self):
+        u = CRRAUtility(gamma=2.0)
+        c = np.linspace(0.05, 3.0, 200)
+        vals = u.utility(c)
+        assert np.all(np.diff(vals) > 0)
+        assert np.all(np.diff(vals, 2) < 1e-12)
+
+    def test_marginal_utility_is_decreasing_everywhere(self):
+        """Including through the floor: the extension keeps u' strictly decreasing."""
+        u = CRRAUtility(gamma=2.0, c_min=1e-3)
+        c = np.linspace(-0.01, 1.0, 500)
+        mu = u.marginal_utility(c)
+        assert np.all(np.diff(mu) < 0)
+
+    def test_extension_is_continuous_at_floor(self):
+        u = CRRAUtility(gamma=2.0, c_min=1e-2)
+        eps = 1e-9
+        below = u.marginal_utility(u.c_min - eps)
+        above = u.marginal_utility(u.c_min + eps)
+        assert below == pytest.approx(above, rel=1e-4)
+        assert u.utility(u.c_min - eps) == pytest.approx(u.utility(u.c_min + eps), rel=1e-4)
+
+    def test_inverse_marginal_utility(self):
+        u = CRRAUtility(gamma=2.0)
+        c = np.array([0.3, 0.9, 1.7])
+        np.testing.assert_allclose(u.inverse_marginal_utility(u.marginal_utility(c)), c)
+
+    def test_inverse_rejects_non_positive(self):
+        u = CRRAUtility()
+        with pytest.raises(ValueError):
+            u.inverse_marginal_utility(np.array([0.0]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CRRAUtility(gamma=0.0)
+        with pytest.raises(ValueError):
+            CRRAUtility(c_min=0.0)
+
+    def test_certainty_equivalent_between_outcomes(self):
+        u = CRRAUtility(gamma=2.0)
+        values = u.utility(np.array([1.0, 2.0]))
+        ce = u.certainty_equivalent(values, np.array([0.5, 0.5]))
+        assert 1.0 < ce < 2.0
+        # risk aversion: CE below the expected consumption
+        assert ce < 1.5
+
+    def test_certainty_equivalent_log_case(self):
+        u = CRRAUtility(gamma=1.0)
+        values = u.utility(np.array([1.0, 4.0]))
+        ce = u.certainty_equivalent(values, np.array([0.5, 0.5]))
+        assert ce == pytest.approx(2.0)

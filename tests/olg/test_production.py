@@ -1,0 +1,63 @@
+"""Tests for the Cobb-Douglas technology and factor prices."""
+
+import numpy as np
+import pytest
+
+from repro.olg.production import CobbDouglasTechnology
+
+
+class TestPrices:
+    def test_output_formula(self):
+        tech = CobbDouglasTechnology(theta=0.3)
+        assert tech.output(2.0, 3.0, zeta=1.5) == pytest.approx(1.5 * 2.0**0.3 * 3.0**0.7)
+
+    def test_euler_theorem_exhausts_output(self):
+        """Factor payments w*L + r_gross*K add up to output (CRS)."""
+        tech = CobbDouglasTechnology(theta=0.36)
+        K, L, zeta, delta = 2.5, 3.0, 1.1, 0.07
+        p = tech.prices(K, L, zeta, delta)
+        assert p.wage * L + p.return_gross * K == pytest.approx(p.output, rel=1e-12)
+
+    def test_net_return_subtracts_depreciation(self):
+        tech = CobbDouglasTechnology()
+        p = tech.prices(1.0, 1.0, 1.0, 0.1)
+        assert p.return_net == pytest.approx(p.return_gross - 0.1)
+
+    def test_wage_increases_with_capital(self):
+        tech = CobbDouglasTechnology(theta=0.33)
+        w_low = tech.prices(1.0, 2.0, 1.0, 0.1).wage
+        w_high = tech.prices(3.0, 2.0, 1.0, 0.1).wage
+        assert w_high > w_low
+
+    def test_return_decreases_with_capital(self):
+        tech = CobbDouglasTechnology(theta=0.33)
+        r_low = tech.prices(1.0, 2.0, 1.0, 0.1).return_net
+        r_high = tech.prices(3.0, 2.0, 1.0, 0.1).return_net
+        assert r_high < r_low
+
+    def test_productivity_scales_prices(self):
+        tech = CobbDouglasTechnology(theta=0.3)
+        base = tech.prices(2.0, 2.0, 1.0, 0.0)
+        boom = tech.prices(2.0, 2.0, 1.2, 0.0)
+        assert boom.wage == pytest.approx(1.2 * base.wage)
+        assert boom.return_gross == pytest.approx(1.2 * base.return_gross)
+
+    def test_capital_floor_protects_against_zero(self):
+        tech = CobbDouglasTechnology()
+        p = tech.prices(0.0, 1.0, 1.0, 0.1)
+        assert np.isfinite(p.wage)
+        assert np.isfinite(p.return_gross)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            CobbDouglasTechnology(theta=1.0)
+        with pytest.raises(ValueError):
+            CobbDouglasTechnology(theta=0.0)
+
+    def test_steady_state_capital_consistency(self):
+        """At the heuristic steady state, 1 + r_net = 1/beta."""
+        tech = CobbDouglasTechnology(theta=0.3)
+        beta, delta, zeta, L = 0.95, 0.08, 1.0, 2.0
+        K = tech.steady_state_capital(L, zeta, delta, beta)
+        p = tech.prices(K, L, zeta, delta)
+        assert 1.0 + p.return_net == pytest.approx(1.0 / beta, rel=1e-10)

@@ -1,0 +1,85 @@
+"""Tests for the Newton point solver."""
+
+import numpy as np
+import pytest
+
+from repro.olg.solver import NewtonSolver, PointSolveResult
+
+
+class TestNewtonSolver:
+    def test_linear_system_one_step(self):
+        A = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        solver = NewtonSolver(tol=1e-12)
+        result = solver.solve(lambda x: A @ x - b, np.zeros(2))
+        assert result.converged
+        np.testing.assert_allclose(result.x, np.linalg.solve(A, b), atol=1e-9)
+
+    def test_scalar_nonlinear_root(self):
+        solver = NewtonSolver()
+        result = solver.solve(lambda x: np.array([x[0] ** 3 - 8.0]), np.array([1.0]))
+        assert result.converged
+        assert result.x[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_coupled_nonlinear_system(self):
+        def fn(x):
+            return np.array([x[0] ** 2 + x[1] ** 2 - 4.0, x[0] - x[1]])
+
+        result = NewtonSolver().solve(fn, np.array([1.0, 0.5]))
+        assert result.converged
+        np.testing.assert_allclose(np.abs(result.x), np.sqrt(2.0), atol=1e-6)
+
+    def test_residual_norm_reported(self):
+        result = NewtonSolver().solve(lambda x: x - 3.0, np.array([0.0]))
+        assert result.residual_norm < 1e-8
+        assert result.residual_evaluations > 0
+        assert isinstance(result, PointSolveResult)
+
+    def test_exponential_euler_like_equation(self):
+        """An equation with the same shape as the OLG Euler residuals."""
+        beta, R = 0.9, 1.2
+        resources = 2.0
+
+        def fn(log_s):
+            s = np.exp(log_s)
+            c_today = resources - s
+            c_next = R * s
+            return np.array([c_today[0] ** -2 - beta * R * c_next[0] ** -2])
+
+        result = NewtonSolver().solve(fn, np.array([np.log(0.5)]))
+        assert result.converged
+        s = np.exp(result.x[0])
+        # analytic solution: c'/c = (beta R)^(1/2), budget pins down s
+        ratio = (beta * R) ** 0.5
+        expected = ratio * resources / (R + ratio)
+        assert s == pytest.approx(expected, rel=1e-6)
+
+    def test_fallback_to_scipy_on_hard_start(self):
+        """A start too far for the truncated Newton run is rescued by the fallback."""
+
+        def fn(x):
+            return np.array([x[0] ** 3 - 8.0, np.sin(x[1])])
+
+        solver = NewtonSolver(max_iterations=1, use_scipy_fallback=True)
+        result = solver.solve(fn, np.array([10.0, 2.0]))
+        assert result.residual_norm < 1e-6
+
+    def test_no_fallback_reports_not_converged(self):
+        def fn(x):
+            return np.array([np.tanh(x[0]) - 0.5])
+
+        solver = NewtonSolver(max_iterations=1, use_scipy_fallback=False)
+        result = solver.solve(fn, np.array([40.0]))
+        assert not result.converged
+
+    def test_singular_jacobian_uses_least_squares(self):
+        def fn(x):
+            # rank-deficient Jacobian at the start, still solvable
+            return np.array([x[0] + x[1] - 2.0, 2.0 * (x[0] + x[1]) - 4.0])
+
+        result = NewtonSolver().solve(fn, np.array([0.0, 0.0]))
+        assert result.residual_norm < 1e-8
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            NewtonSolver(tol=0.0)

@@ -1,0 +1,94 @@
+"""Tests for the welfare-analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.olg.welfare import (
+    WelfareComparison,
+    compare_states,
+    consumption_equivalent,
+    ergodic_welfare,
+    newborn_value,
+)
+
+
+class TestConsumptionEquivalent:
+    def test_zero_when_values_equal(self, small_olg_model):
+        assert consumption_equivalent(small_olg_model, -5.0, -5.0) == pytest.approx(0.0)
+
+    def test_sign_matches_value_ranking(self, small_olg_model):
+        model = small_olg_model
+        better = consumption_equivalent(model, -6.0, -5.0)
+        worse = consumption_equivalent(model, -5.0, -6.0)
+        assert better > 0.0
+        assert worse < 0.0
+
+    def test_scaling_consistency(self, small_olg_model):
+        """Scaling a constant consumption stream by (1+lambda) recovers lambda."""
+        model = small_olg_model
+        cal = model.calibration
+        beta, gamma, A = cal.beta, cal.gamma, cal.num_generations
+        horizon = (1.0 - beta**A) / (1.0 - beta)
+
+        def lifetime_value(c):
+            return float(horizon * model.utility.utility(c))
+
+        lam = 0.17
+        v_ref = lifetime_value(1.0)
+        v_alt = lifetime_value(1.0 + lam)
+        assert consumption_equivalent(model, v_ref, v_alt) == pytest.approx(lam, rel=1e-6)
+
+
+class TestNewbornValue:
+    def test_reads_first_value_coefficient(self, solved_small_olg):
+        model, result = solved_small_olg
+        x = 0.5 * (model.domain.lower + model.domain.upper)
+        v = newborn_value(model, result.policy, 0, x)
+        direct = np.asarray(result.policy.evaluate(0, x)).reshape(-1)[model.num_savers]
+        assert v == pytest.approx(float(direct))
+
+    def test_finite_across_states(self, solved_small_olg):
+        model, result = solved_small_olg
+        x = 0.5 * (model.domain.lower + model.domain.upper)
+        for z in range(model.num_states):
+            assert np.isfinite(newborn_value(model, result.policy, z, x))
+
+
+class TestCompareStates:
+    def test_boom_state_weakly_preferred(self, solved_small_olg):
+        """Newborns weakly prefer being born in the high-productivity state."""
+        model, result = solved_small_olg
+        prod = model.calibration.shocks.label("productivity")
+        low, high = int(np.argmin(prod)), int(np.argmax(prod))
+        comparison = compare_states(model, result.policy, z_reference=low, z_alternative=high)
+        assert isinstance(comparison, WelfareComparison)
+        assert comparison.value_alternative >= comparison.value_reference - 1e-6
+        if np.isfinite(comparison.consumption_equivalent):
+            assert comparison.consumption_equivalent >= -1e-6
+
+    def test_comparison_is_antisymmetric_in_sign(self, solved_small_olg):
+        model, result = solved_small_olg
+        forward = compare_states(model, result.policy, 0, 1)
+        backward = compare_states(model, result.policy, 1, 0)
+        if np.isfinite(forward.consumption_equivalent) and np.isfinite(
+            backward.consumption_equivalent
+        ):
+            assert np.sign(forward.consumption_equivalent) == -np.sign(
+                backward.consumption_equivalent
+            ) or forward.consumption_equivalent == pytest.approx(0.0, abs=1e-9)
+
+
+class TestErgodicWelfare:
+    def test_summary_structure(self, solved_small_olg):
+        model, result = solved_small_olg
+        summary = ergodic_welfare(model, result.policy, periods=200, burn_in=20, rng=0)
+        assert set(summary) == {"mean", "std", "per_state", "periods"}
+        assert summary["periods"] == 200
+        assert np.isfinite(summary["mean"])
+        assert len(summary["per_state"]) == model.num_states
+
+    def test_deterministic_with_seed(self, solved_small_olg):
+        model, result = solved_small_olg
+        a = ergodic_welfare(model, result.policy, periods=100, rng=5)
+        b = ergodic_welfare(model, result.policy, periods=100, rng=5)
+        assert a["mean"] == pytest.approx(b["mean"])

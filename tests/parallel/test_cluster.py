@@ -1,0 +1,85 @@
+"""Tests for the hardware cost models and their paper calibration anchors."""
+
+import pytest
+
+from repro.parallel.cluster import (
+    GRAND_TAVE_NODE,
+    PIZ_DAINT_NODE,
+    ClusterSpec,
+    NodeSpec,
+    grand_tave,
+    piz_daint,
+)
+
+
+class TestNodeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cores=4, single_thread_speed=0.0)
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cores=4, cpu_parallel_efficiency=1.5)
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cores=4, gpu_throughput=-1.0)
+
+    def test_hardware_threads(self):
+        node = NodeSpec("n", cores=8, threads_per_core=2)
+        assert node.hardware_threads == 16
+
+    def test_single_thread_throughput(self):
+        node = NodeSpec("n", cores=8, single_thread_speed=0.5)
+        assert node.cpu_throughput(threads=1) == pytest.approx(0.5)
+
+    def test_gpu_adds_throughput(self):
+        node = NodeSpec("n", cores=4, gpu_throughput=10.0)
+        assert node.node_throughput(use_gpu=True) == pytest.approx(
+            node.cpu_throughput() + 10.0
+        )
+        assert node.node_throughput(use_gpu=False) == pytest.approx(node.cpu_throughput())
+
+    def test_thread_cap(self):
+        node = NodeSpec("n", cores=4, threads_per_core=2, cpu_parallel_efficiency=0.5)
+        assert node.cpu_throughput(threads=100) == node.cpu_throughput(threads=8)
+
+
+class TestPaperAnchors:
+    def test_piz_daint_node_speedup_25x(self):
+        """Sec. V-B: full Piz Daint node ~25x over one of its CPU threads."""
+        assert PIZ_DAINT_NODE.speedup_over_single_thread(use_gpu=True) == pytest.approx(
+            25.0, rel=0.05
+        )
+
+    def test_grand_tave_node_speedup_96x(self):
+        """Sec. V-B: KNL node ~96x over one of its own threads."""
+        assert GRAND_TAVE_NODE.speedup_over_single_thread() == pytest.approx(96.0, rel=0.05)
+
+    def test_piz_daint_twice_grand_tave(self):
+        """Sec. V-B: a Piz Daint node is ~2x faster than a Grand Tave node."""
+        ratio = PIZ_DAINT_NODE.node_throughput(True) / GRAND_TAVE_NODE.node_throughput(False)
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_grand_tave_has_no_gpu(self):
+        assert not GRAND_TAVE_NODE.has_gpu
+        assert PIZ_DAINT_NODE.has_gpu
+
+
+class TestClusterSpec:
+    def test_total_throughput_scales_with_nodes(self):
+        one = piz_daint(1)
+        many = piz_daint(64)
+        assert many.total_throughput() == pytest.approx(64 * one.total_throughput())
+
+    def test_with_nodes(self):
+        cluster = grand_tave(4)
+        bigger = cluster.with_nodes(128)
+        assert bigger.num_nodes == 128
+        assert bigger.node is cluster.node
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(PIZ_DAINT_NODE, num_nodes=0)
+
+    def test_total_threads(self):
+        cluster = piz_daint(2)
+        assert cluster.total_threads == 2 * PIZ_DAINT_NODE.hardware_threads

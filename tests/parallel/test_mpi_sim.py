@@ -1,0 +1,84 @@
+"""Tests for the simulated MPI communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.mpi_sim import SimCommWorld, SimGroup
+
+
+class TestSplit:
+    def test_proportional_split_covers_all_ranks(self):
+        world = SimCommWorld(size=32)
+        groups = world.split_proportional([100, 300, 200, 400])
+        all_ranks = sorted(r for g in groups for r in g.ranks)
+        assert all_ranks == list(range(32))
+        assert len(groups) == 4
+
+    def test_group_sizes_proportional(self):
+        world = SimCommWorld(size=10)
+        groups = world.split_proportional([100, 400])
+        assert groups[0].size == 2
+        assert groups[1].size == 8
+
+    def test_equal_split(self):
+        world = SimCommWorld(size=8)
+        groups = world.split_equal(4)
+        assert [g.size for g in groups] == [2, 2, 2, 2]
+
+    def test_split_updates_world_groups(self):
+        world = SimCommWorld(size=4)
+        world.split_proportional([1, 1])
+        assert len(world.groups) == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimCommWorld(size=0)
+
+
+class TestGroupScatter:
+    def test_scatter_counts_cover_items(self):
+        group = SimGroup(color=0, ranks=list(range(5)))
+        counts = group.scatter_counts(17)
+        assert counts.sum() == 17
+        assert counts.max() - counts.min() <= 1
+
+    def test_scatter_slices_are_contiguous_and_complete(self):
+        group = SimGroup(color=0, ranks=list(range(4)))
+        slices = group.scatter_slices(10)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(10))
+
+    def test_barrier_and_bytes_accounting(self):
+        group = SimGroup(color=1, ranks=[0, 1])
+        group.barrier()
+        group.barrier()
+        group.send(1024)
+        assert group.barriers == 2
+        assert group.bytes_sent == 1024
+        with pytest.raises(ValueError):
+            group.send(-1)
+
+
+class TestStats:
+    def test_world_stats(self):
+        world = SimCommWorld(size=6)
+        groups = world.split_proportional([10, 20])
+        world.barrier()
+        groups[0].barrier()
+        groups[1].send(100)
+        stats = world.stats()
+        assert stats["size"] == 6
+        assert stats["global_barriers"] == 1
+        assert stats["group_barriers"] == 1
+        assert stats["bytes_sent"] == 100
+        assert stats["num_groups"] == 2
+
+    def test_one_barrier_per_time_step_is_cheap(self):
+        """The paper notes the global barrier costs <1% of a step; here we just
+        verify the accounting that the scaling model charges for it."""
+        world = SimCommWorld(size=4096)
+        for _ in range(300):
+            world.barrier()
+        assert world.stats()["global_barriers"] == 300

@@ -1,0 +1,94 @@
+"""Tests for the proportional workload partitioning (paper Sec. IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.partition import load_imbalance, partition_counts, proportional_group_sizes
+
+
+class TestProportionalGroupSizes:
+    def test_paper_example(self):
+        """The example from Sec. IV-A footnote 5: M=(200,100), 3 processes -> (2,1)."""
+        np.testing.assert_array_equal(proportional_group_sizes([200, 100], 3), [2, 1])
+
+    def test_sizes_sum_to_total(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            weights = rng.integers(1, 10_000, size=rng.integers(2, 20))
+            total = int(rng.integers(1, 500))
+            sizes = proportional_group_sizes(weights, total)
+            assert sizes.sum() == total
+
+    def test_minimum_one_process_per_state_when_possible(self):
+        sizes = proportional_group_sizes([1_000_000, 1, 1, 1], 16)
+        assert sizes.min() >= 1
+        assert sizes.sum() == 16
+        assert sizes[0] == sizes.max()
+
+    def test_fewer_processes_than_states(self):
+        sizes = proportional_group_sizes([10, 20, 30, 40], 2)
+        assert sizes.sum() == 2
+        assert np.all(sizes >= 0)
+
+    def test_proportionality(self):
+        sizes = proportional_group_sizes([300, 100], 40)
+        assert sizes[0] == 30
+        assert sizes[1] == 10
+
+    def test_equal_weights_give_equal_split(self):
+        sizes = proportional_group_sizes([5, 5, 5, 5], 16)
+        np.testing.assert_array_equal(sizes, [4, 4, 4, 4])
+
+    def test_all_zero_weights_fall_back_to_uniform(self):
+        sizes = proportional_group_sizes([0, 0, 0], 9)
+        np.testing.assert_array_equal(sizes, [3, 3, 3])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            proportional_group_sizes([], 4)
+        with pytest.raises(ValueError):
+            proportional_group_sizes([1, -2], 4)
+        with pytest.raises(ValueError):
+            proportional_group_sizes([1, 2], 0)
+
+    def test_large_paper_scale(self):
+        """16 states with ~70k-77k points over 4,096 nodes (the Fig. 8 setup)."""
+        rng = np.random.default_rng(1)
+        points = rng.integers(69_026, 76_646, size=16)
+        sizes = proportional_group_sizes(points, 4_096)
+        assert sizes.sum() == 4_096
+        loads = points / sizes
+        assert load_imbalance(loads) < 0.05
+
+
+class TestPartitionCounts:
+    def test_even_split(self):
+        np.testing.assert_array_equal(partition_counts(12, 4), [3, 3, 3, 3])
+
+    def test_remainder_spread(self):
+        np.testing.assert_array_equal(partition_counts(10, 4), [3, 3, 2, 2])
+
+    def test_more_parts_than_items(self):
+        counts = partition_counts(3, 5)
+        assert counts.sum() == 3
+        assert counts.max() == 1
+
+    def test_zero_items(self):
+        assert partition_counts(0, 3).sum() == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_counts(5, 0)
+        with pytest.raises(ValueError):
+            partition_counts(-1, 3)
+
+
+class TestLoadImbalance:
+    def test_balanced_is_zero(self):
+        assert load_imbalance(np.array([2.0, 2.0, 2.0])) == pytest.approx(0.0)
+
+    def test_imbalanced_positive(self):
+        assert load_imbalance(np.array([1.0, 3.0])) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert load_imbalance(np.array([])) == 0.0

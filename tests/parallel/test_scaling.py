@@ -1,0 +1,111 @@
+"""Tests for the strong-scaling workload model (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cluster import PIZ_DAINT_NODE
+from repro.parallel.scaling import LevelWorkload, ScalingPoint, StrongScalingModel
+
+
+def _toy_model(**kwargs):
+    workload = [
+        LevelWorkload(level=3, points_per_state=tuple([1_000] * 4), point_cost=0.01),
+        LevelWorkload(level=4, points_per_state=tuple([40_000] * 4), point_cost=0.01),
+    ]
+    return StrongScalingModel(workload=workload, node=PIZ_DAINT_NODE, **kwargs)
+
+
+class TestBasicProperties:
+    def test_single_node_time_is_sum_over_states_and_levels(self):
+        model = _toy_model(level_overhead=0.0, barrier_latency=0.0)
+        point = model.execution_time(1)
+        # all 4 states' work runs on the one node
+        v = model.effective_threads
+        per_thread = 0.01 / PIZ_DAINT_NODE.single_thread_speed
+        expected = 0.0
+        for points in (1_000, 40_000):
+            expected += 4 * np.ceil(points / v) * per_thread
+        assert point.compute_time == pytest.approx(expected, rel=1e-6)
+
+    def test_time_decreases_with_nodes(self):
+        model = _toy_model()
+        times = [model.execution_time(n).total_time for n in (1, 4, 16, 64)]
+        assert all(t1 > t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_efficiency_degrades_at_scale(self):
+        model = _toy_model()
+        few = model.execution_time(4)
+        many = model.execution_time(4_096)
+        assert few.efficiency > many.efficiency
+
+    def test_efficiency_bounded(self):
+        model = _toy_model()
+        for nodes in (1, 8, 128, 2_048):
+            eff = model.execution_time(nodes).efficiency
+            assert 0.0 < eff <= 1.0 + 1e-9
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            _toy_model().execution_time(0)
+
+    def test_sweep_returns_scaling_points(self):
+        points = _toy_model().sweep([1, 2, 4])
+        assert len(points) == 3
+        assert all(isinstance(p, ScalingPoint) for p in points)
+
+
+class TestPaperWorkload:
+    def test_single_node_matches_paper_runtime(self):
+        """The point cost is backed out of the paper's 20,471 s single-node run."""
+        model = StrongScalingModel.paper_workload()
+        assert model.execution_time(1).total_time == pytest.approx(20_471.0, rel=0.01)
+
+    def test_workload_points_match_fig8_caption(self):
+        """Level 3 + level 4 new points x 16 states ~ 4.5M grid points."""
+        model = StrongScalingModel.paper_workload()
+        total = sum(level.total_points for level in model.workload)
+        assert total == 16 * (281_077 - 119)
+
+    def test_efficiency_at_4096_close_to_70_percent(self):
+        model = StrongScalingModel.paper_workload()
+        data = model.normalized_times([1, 4096])
+        assert data["efficiency"][-1] == pytest.approx(0.70, abs=0.07)
+
+    def test_near_ideal_scaling_up_to_256_nodes(self):
+        model = StrongScalingModel.paper_workload()
+        data = model.normalized_times([1, 4, 16, 64, 256])
+        assert np.all(data["efficiency"] > 0.93)
+
+    def test_lower_level_scales_worse(self):
+        """Level 3 departs from ideal much earlier than level 4 (Fig. 8)."""
+        model = StrongScalingModel.paper_workload()
+        base = model.execution_time(1)
+        big = model.execution_time(4_096)
+        ratio_l3 = base.level_times[3] / big.level_times[3]
+        ratio_l4 = base.level_times[4] / big.level_times[4]
+        assert ratio_l4 > ratio_l3
+
+    def test_normalized_total_monotone(self):
+        model = StrongScalingModel.paper_workload()
+        data = model.normalized_times([1, 4, 16, 64, 256, 1024, 4096])
+        assert np.all(np.diff(data["total"]) < 0)
+        np.testing.assert_allclose(data["ideal"], 1.0 / data["nodes"])
+
+
+class TestOverheadModel:
+    def test_no_overhead_on_single_node(self):
+        model = _toy_model(level_overhead=0.0)
+        point = model.execution_time(1)
+        assert point.overhead_time == pytest.approx(0.0)
+
+    def test_overhead_grows_with_nodes(self):
+        model = _toy_model(barrier_latency=0.1)
+        assert (
+            model.execution_time(1024).overhead_time
+            > model.execution_time(2).overhead_time
+        )
+
+    def test_level_overhead_charged_per_level(self):
+        model = _toy_model(level_overhead=1.0, barrier_latency=0.0)
+        point = model.execution_time(1)
+        assert point.overhead_time == pytest.approx(2.0)

@@ -1,0 +1,72 @@
+"""Tests for the execution trace recorder."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.tracing import Span, TraceRecorder
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(worker=0, label="solve", start=1.0, end=1.5)
+        assert span.duration == pytest.approx(0.5)
+
+
+class TestTraceRecorder:
+    def test_record_and_makespan(self):
+        trace = TraceRecorder()
+        trace.record(0, "a", 0.0, 1.0)
+        trace.record(1, "b", 0.5, 2.0)
+        assert trace.makespan == pytest.approx(2.0)
+        assert trace.busy_time() == pytest.approx(2.5)
+        assert trace.busy_time(worker=1) == pytest.approx(1.5)
+
+    def test_invalid_span_rejected(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.record(0, "bad", 2.0, 1.0)
+
+    def test_utilization_perfect_when_fully_busy(self):
+        trace = TraceRecorder()
+        trace.record(0, "a", 0.0, 1.0)
+        trace.record(1, "b", 0.0, 1.0)
+        assert trace.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half_when_one_worker_idles(self):
+        trace = TraceRecorder()
+        trace.record(0, "a", 0.0, 2.0)
+        trace.record(1, "b", 0.0, 0.0 + 1e-12)
+        assert trace.utilization() == pytest.approx(0.5, abs=0.01)
+
+    def test_empty_trace(self):
+        trace = TraceRecorder()
+        assert trace.makespan == 0.0
+        assert trace.utilization() == 1.0
+        assert trace.workers() == []
+
+    def test_by_label(self):
+        trace = TraceRecorder()
+        trace.record(0, "solve", 0.0, 1.0)
+        trace.record(1, "solve", 0.0, 0.5)
+        trace.record(0, "fit", 1.0, 1.2)
+        by_label = trace.by_label()
+        assert by_label["solve"] == pytest.approx(1.5)
+        assert by_label["fit"] == pytest.approx(0.2)
+
+    def test_span_context_manager(self):
+        trace = TraceRecorder()
+        with trace.span(worker=2, label="work"):
+            time.sleep(0.01)
+        assert len(trace.spans) == 1
+        assert trace.spans[0].worker == 2
+        assert trace.spans[0].duration >= 0.005
+
+    def test_to_arrays(self):
+        trace = TraceRecorder()
+        trace.record(0, "a", 0.0, 1.0)
+        trace.record(3, "b", 1.0, 4.0)
+        arrays = trace.to_arrays()
+        np.testing.assert_array_equal(arrays["worker"], [0, 3])
+        np.testing.assert_allclose(arrays["duration"], [1.0, 3.0])

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the properties DESIGN.md commits to:
+
+* sparse grid interpolation is exact at grid points for arbitrary nodal data;
+* the compressed kernels agree with the dense ("gold") kernel on random
+  grids, surpluses and query points;
+* hierarchize / evaluate is a round trip;
+* the proportional partition rule conserves processes and respects bounds;
+* the scheduling simulation never beats the theoretical lower bounds;
+* Markov chain constructions stay stochastic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import compress_grid
+from repro.core.kernels import evaluate
+from repro.grids.hierarchize import evaluate_dense, hierarchize
+from repro.grids.regular import regular_sparse_grid
+from repro.olg.markov import MarkovChain, persistent_chain, rouwenhorst
+from repro.olg.preferences import CRRAUtility
+from repro.parallel.partition import partition_counts, proportional_group_sizes
+from repro.parallel.scheduler import simulate_schedule
+
+# shared hypothesis settings: the grid-based properties build real grids, so
+# keep example counts moderate and disable the too-slow health check.
+GRID_SETTINGS = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# sparse grid properties
+# --------------------------------------------------------------------------- #
+@GRID_SETTINGS
+@given(
+    dim=st.integers(min_value=1, max_value=4),
+    level=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_interpolation_exact_at_grid_points(dim, level, seed):
+    grid = regular_sparse_grid(dim, level)
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(len(grid))
+    surplus = hierarchize(grid, values)
+    np.testing.assert_allclose(
+        evaluate_dense(grid, surplus, grid.points), values, atol=1e-9
+    )
+
+
+@GRID_SETTINGS
+@given(
+    dim=st.integers(min_value=2, max_value=4),
+    level=st.integers(min_value=2, max_value=4),
+    num_dofs=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_compressed_kernels_match_dense_kernel(dim, level, num_dofs, seed):
+    grid = regular_sparse_grid(dim, level)
+    rng = np.random.default_rng(seed)
+    surplus = rng.standard_normal((len(grid), num_dofs))
+    queries = rng.random((11, dim))
+    comp = compress_grid(grid)
+    reference = evaluate(comp, surplus, queries, kernel="gold")
+    for kernel in ("x86", "avx", "avx2", "avx512", "cuda"):
+        np.testing.assert_allclose(
+            evaluate(comp, surplus, queries, kernel=kernel), reference, atol=1e-10
+        )
+
+
+@GRID_SETTINGS
+@given(
+    dim=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_hierarchize_evaluate_roundtrip(dim, seed):
+    """hierarchize(evaluate(surplus)) returns the original surpluses."""
+    grid = regular_sparse_grid(dim, 3)
+    rng = np.random.default_rng(seed)
+    surplus = rng.standard_normal(len(grid))
+    nodal = evaluate_dense(grid, surplus, grid.points)
+    np.testing.assert_allclose(hierarchize(grid, nodal), surplus, atol=1e-9)
+
+
+@GRID_SETTINGS
+@given(
+    dim=st.integers(min_value=2, max_value=5),
+    level=st.integers(min_value=2, max_value=4),
+)
+def test_compression_invariants(dim, level):
+    grid = regular_sparse_grid(dim, level)
+    comp = compress_grid(grid)
+    # chain length bound and sentinel validity
+    assert comp.nfreq <= max(level - 1, 1)
+    assert comp.chains.shape == (len(grid), comp.nfreq)
+    assert comp.chains.min() >= 0
+    assert comp.chains.max() < comp.num_xps
+    # order is a permutation
+    assert np.array_equal(np.sort(comp.order), np.arange(len(grid)))
+    # number of unique factors: at most (#levels >= 2 per dim) x dim, plus sentinel
+    max_factors = sum(len(set(grid.indices[grid.levels[:, t] >= 2, t])) for t in range(dim))
+    assert comp.num_xps <= dim * 2 ** max(level - 1, 1) + 1
+    assert comp.num_xps >= 1
+
+
+# --------------------------------------------------------------------------- #
+# partitioning and scheduling properties
+# --------------------------------------------------------------------------- #
+@settings(max_examples=200, deadline=None)
+@given(
+    weights=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=32),
+    total=st.integers(min_value=1, max_value=5_000),
+)
+def test_proportional_partition_conserves_processes(weights, total):
+    sizes = proportional_group_sizes(weights, total)
+    assert sizes.sum() == total
+    assert np.all(sizes >= 0)
+    if total >= len(weights):
+        assert np.all(sizes >= 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    num_items=st.integers(min_value=0, max_value=10**6),
+    num_parts=st.integers(min_value=1, max_value=512),
+)
+def test_partition_counts_conserve_items(num_items, num_parts):
+    counts = partition_counts(num_items, num_parts)
+    assert counts.sum() == num_items
+    assert counts.max() - counts.min() <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    costs=st.lists(st.floats(min_value=1e-3, max_value=10.0), min_size=1, max_size=200),
+    workers=st.integers(min_value=1, max_value=32),
+)
+def test_schedule_simulation_bounds(costs, workers):
+    costs = np.asarray(costs)
+    out = simulate_schedule(costs, workers, stealing=True)
+    lower = max(costs.sum() / workers, costs.max())
+    assert out["makespan"] >= lower - 1e-9
+    assert out["makespan"] <= costs.sum() + 1e-9
+    assert 0.0 < out["efficiency"] <= 1.0 + 1e-9
+    # static partitioning can never beat the greedy bound by construction
+    static = simulate_schedule(costs, workers, stealing=False)
+    assert static["makespan"] >= lower - 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# economics substrate properties
+# --------------------------------------------------------------------------- #
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    rho=st.floats(min_value=-0.95, max_value=0.95),
+    sigma=st.floats(min_value=1e-3, max_value=1.0),
+)
+def test_rouwenhorst_always_stochastic(n, rho, sigma):
+    values, pi = rouwenhorst(n, rho, sigma)
+    np.testing.assert_allclose(pi.sum(axis=1), 1.0, atol=1e-10)
+    assert np.all(pi >= -1e-12)
+    assert np.all(np.diff(values) >= 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    persistence=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_persistent_chain_stationary_uniform(n, persistence):
+    chain = MarkovChain(persistent_chain(n, persistence))
+    dist = chain.stationary_distribution()
+    np.testing.assert_allclose(dist.sum(), 1.0, atol=1e-9)
+    # the symmetric chain has a uniform stationary distribution; near
+    # persistence = 1 the unit eigenvalue is (numerically) degenerate, so the
+    # uniformity check is only meaningful away from that boundary
+    if n > 1 and persistence < 0.99:
+        np.testing.assert_allclose(dist, 1.0 / n, atol=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    gamma=st.floats(min_value=0.5, max_value=8.0),
+    c=st.floats(min_value=1e-4, max_value=50.0),
+)
+def test_crra_inverse_marginal_utility_roundtrip(gamma, c):
+    utility = CRRAUtility(gamma=gamma, c_min=1e-6)
+    mu = utility.marginal_utility(c)
+    assert utility.inverse_marginal_utility(mu) == pytest.approx(c, rel=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    gamma=st.floats(min_value=0.5, max_value=6.0),
+    c1=st.floats(min_value=1e-3, max_value=10.0),
+    c2=st.floats(min_value=1e-3, max_value=10.0),
+)
+def test_crra_utility_monotone(gamma, c1, c2):
+    utility = CRRAUtility(gamma=gamma)
+    lo, hi = sorted((c1, c2))
+    assert utility.utility(hi) >= utility.utility(lo) - 1e-12
+    assert utility.marginal_utility(hi) <= utility.marginal_utility(lo) + 1e-12

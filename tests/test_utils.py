@@ -1,0 +1,113 @@
+"""Tests for the shared utilities."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.timing import Timer, WallClock
+from repro.utils.validation import (
+    check_in_unit_box,
+    check_positive,
+    check_probability_matrix,
+    check_shape,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_lap_and_restart(self):
+        t = Timer()
+        with t:
+            pass
+        t.restart()
+        assert t.elapsed == 0.0
+        assert t.lap() >= 0.0
+
+
+class TestWallClock:
+    def test_sections_accumulate(self):
+        clock = WallClock()
+        clock.add("solve", 1.0)
+        clock.add("solve", 0.5)
+        clock.add("fit", 0.25)
+        assert clock.sections["solve"] == pytest.approx(1.5)
+        assert clock.total == pytest.approx(1.75)
+        assert clock.as_dict() == clock.sections
+
+    def test_section_context_manager(self):
+        clock = WallClock()
+        with clock.section("work"):
+            time.sleep(0.01)
+        assert clock.sections["work"] >= 0.005
+
+
+class TestRng:
+    def test_default_rng_from_seed(self):
+        a = default_rng(3).random(5)
+        b = default_rng(3).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_existing_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        check_positive("x", 0.0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", [-1.0, 2.0], strict=False)
+
+    def test_check_probability_matrix(self):
+        check_probability_matrix("pi", np.array([[0.4, 0.6], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            check_probability_matrix("pi", np.array([[0.4, 0.4], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            check_probability_matrix("pi", np.ones((2, 3)))
+
+    def test_check_shape(self):
+        check_shape("a", np.zeros((3, 2)), (3, 2))
+        check_shape("a", np.zeros((3, 2)), (None, 2))
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((3, 2)), (2, 2))
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros(3), (3, 1))
+
+    def test_check_in_unit_box(self):
+        check_in_unit_box("x", np.array([[0.0, 1.0], [0.5, 0.25]]))
+        with pytest.raises(ValueError):
+            check_in_unit_box("x", np.array([1.2]))
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.grids").name == "repro.grids"
+
+    def test_enable_console_logging_idempotent(self):
+        enable_console_logging(logging.WARNING)
+        logger = logging.getLogger("repro")
+        handlers_before = len(logger.handlers)
+        enable_console_logging(logging.WARNING)
+        assert len(logger.handlers) == handlers_before
