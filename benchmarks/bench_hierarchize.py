@@ -1,0 +1,192 @@
+"""Micro-benchmark of the hierarchization (fit) path.
+
+Compares three variants on regular grids of increasing level, for scalar
+and multi-dof nodal values:
+
+``seed``
+    The original implementation: a per-point Python loop that rebuilds the
+    ancestor structure with ``itertools.product`` and per-tuple dict probes
+    on every call, followed by a per-row surplus sweep.  Reproduced here
+    verbatim so the speedup stays measurable after the production code
+    moved on.
+``cold``
+    The vectorized CSR pipeline on a fresh grid (structure construction
+    included) — the cost of the *first* ``hierarchize`` call on a grid.
+``warm``
+    The vectorized pipeline with the grid-attached structure cache already
+    populated — the cost of every *subsequent* call, i.e. what each
+    adaptive-refinement pass and each time-iteration step pays.
+
+Writes a ``BENCH_hierarchize.json`` artifact (repo root) with per-case
+times and speedups for the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hierarchize.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.grids.grid import SparseGrid
+from repro.grids.hierarchical import ancestors_1d, basis_1d
+from repro.grids.hierarchize import hierarchize
+from repro.grids.regular import regular_sparse_grid
+
+
+# --------------------------------------------------------------------------- #
+# the seed implementation (frozen copy, used as the "before" baseline)
+# --------------------------------------------------------------------------- #
+def _seed_ancestor_structure(grid: SparseGrid) -> list[tuple[np.ndarray, np.ndarray]]:
+    structure: list[tuple[np.ndarray, np.ndarray]] = []
+    dim = grid.dim
+    points = grid.points
+    for row in range(len(grid)):
+        lev = grid.levels[row]
+        idx = grid.indices[row]
+        x = points[row]
+        per_dim: list[list[tuple[int, int]]] = []
+        for t in range(dim):
+            chain = [(int(lev[t]), int(idx[t]))]
+            chain.extend(ancestors_1d(int(lev[t]), int(idx[t])))
+            per_dim.append(chain)
+        rows: list[int] = []
+        weights: list[float] = []
+        for combo in itertools.product(*per_dim):
+            if all(combo[t] == (int(lev[t]), int(idx[t])) for t in range(dim)):
+                continue
+            anc_lev = [c[0] for c in combo]
+            anc_idx = [c[1] for c in combo]
+            if not grid.contains(anc_lev, anc_idx):
+                continue
+            weight = 1.0
+            for t in range(dim):
+                weight *= basis_1d(float(x[t]), combo[t][0], combo[t][1])
+                if weight == 0.0:
+                    break
+            if weight == 0.0:
+                continue
+            rows.append(grid.index_of(anc_lev, anc_idx))
+            weights.append(weight)
+        structure.append(
+            (np.asarray(rows, dtype=np.int64), np.asarray(weights, dtype=float))
+        )
+    return structure
+
+
+def _seed_hierarchize(grid: SparseGrid, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    squeeze = values.ndim == 1
+    vals = values[:, None] if squeeze else values
+    surplus = np.array(vals, dtype=float, copy=True)
+    structure = _seed_ancestor_structure(grid)
+    order = np.argsort(grid.levels.sum(axis=1), kind="stable")
+    for row in order:
+        anc_rows, weights = structure[row]
+        if anc_rows.size:
+            surplus[row] -= weights @ surplus[anc_rows]
+    return surplus[:, 0] if squeeze else surplus
+
+
+# --------------------------------------------------------------------------- #
+# timing harness
+# --------------------------------------------------------------------------- #
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_case(dim: int, level: int, num_dofs: int, repeats: int = 3) -> dict:
+    """Time seed / cold / warm hierarchization for one grid configuration."""
+    grid = regular_sparse_grid(dim, level)
+    rng = np.random.default_rng(level * 100 + dim)
+    shape = (len(grid),) if num_dofs == 1 else (len(grid), num_dofs)
+    values = rng.standard_normal(shape)
+
+    seed_s = _best_of(lambda: _seed_hierarchize(grid, values), repeats)
+
+    def cold():
+        fresh = grid.copy()  # empty caches: measures construction + sweep
+        hierarchize(fresh, values)
+
+    cold_s = _best_of(cold, repeats)
+
+    hierarchize(grid, values)  # populate the grid-attached cache
+    warm_s = _best_of(lambda: hierarchize(grid, values), repeats)
+
+    # correctness guard: the benchmark is void if the variants disagree
+    np.testing.assert_allclose(
+        hierarchize(grid, values), _seed_hierarchize(grid, values), atol=1e-12
+    )
+
+    return {
+        "dim": dim,
+        "level": level,
+        "num_points": len(grid),
+        "num_dofs": num_dofs,
+        "seed_seconds": seed_s,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "cold_speedup_vs_seed": seed_s / cold_s,
+        "warm_speedup_vs_seed": seed_s / warm_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="levels 2-4 only")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_hierarchize.json",
+        help="path of the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    levels = range(2, 5) if args.quick else range(2, 7)
+    cases = [(2, level, dofs) for level in levels for dofs in (1, 8)]
+    if not args.quick:
+        cases += [(3, 4, 1), (3, 4, 8), (5, 4, 8)]
+
+    results = []
+    for dim, level, dofs in cases:
+        case = bench_case(dim, level, dofs)
+        results.append(case)
+        print(
+            f"dim={dim} level={level} dofs={dofs:>2} points={case['num_points']:>6}  "
+            f"seed={case['seed_seconds'] * 1e3:8.3f}ms  "
+            f"cold={case['cold_seconds'] * 1e3:8.3f}ms ({case['cold_speedup_vs_seed']:6.1f}x)  "
+            f"warm={case['warm_seconds'] * 1e3:8.3f}ms ({case['warm_speedup_vs_seed']:6.1f}x)"
+        )
+
+    headline = next(
+        (c for c in results if c["dim"] == 2 and c["level"] == 5 and c["num_dofs"] == 1),
+        None,
+    )
+    artifact = {
+        "benchmark": "hierarchize",
+        "description": "fit-path (hierarchization) time: seed loop vs vectorized "
+        "CSR pipeline, cold (structure built) and warm (grid cache hit)",
+        "headline_warm_speedup_dim2_level5": (
+            headline["warm_speedup_vs_seed"] if headline else None
+        ),
+        "cases": results,
+    }
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

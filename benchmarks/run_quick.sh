@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Quick verification + fit-path perf smoke: tier-1 tests followed by the
+# hierarchization micro-benchmark, so fit-path perf regressions surface
+# alongside correctness failures.  Usage: benchmarks/run_quick.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -q
+python benchmarks/bench_hierarchize.py --quick
+
+python - <<'EOF'
+import json
+
+artifact = json.load(open("BENCH_hierarchize.json"))
+slow = [
+    c for c in artifact["cases"]
+    if c["num_points"] >= 29 and c["warm_speedup_vs_seed"] < 5.0
+]
+if slow:
+    raise SystemExit(f"fit-path perf regression: warm speedup < 5x on {slow}")
+print("quick bench OK: warm hierarchize >= 5x seed on all non-trivial grids")
+EOF

@@ -13,6 +13,7 @@ from repro.core.compression import (
     CompressedGrid,
     XiDecomposition,
     compress_grid,
+    compressed_for,
     compression_stats,
 )
 from repro.core.kernels import evaluate, list_kernels, get_kernel, KERNELS
@@ -28,6 +29,7 @@ __all__ = [
     "CompressedGrid",
     "XiDecomposition",
     "compress_grid",
+    "compressed_for",
     "compression_stats",
     "evaluate",
     "list_kernels",

@@ -30,6 +30,8 @@ pipeline removes that redundancy:
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,8 +43,23 @@ __all__ = [
     "XiDecomposition",
     "CompressedGrid",
     "compress_grid",
+    "compressed_for",
     "compression_stats",
 ]
+
+
+def _deeply_frozen(arr) -> bool:
+    """Whether an array's values provably cannot change.
+
+    Walks the view chain: every level must be a read-only ndarray.  A
+    read-only view over a writable base can still change through the
+    base, so it does not count.
+    """
+    while arr is not None:
+        if not isinstance(arr, np.ndarray) or arr.flags.writeable:
+            return False
+        arr = arr.base
+    return True
 
 
 @dataclass(frozen=True)
@@ -194,6 +211,23 @@ class CompressedGrid:
     levels: np.ndarray
     indices: np.ndarray
 
+    def __post_init__(self) -> None:
+        self._active_chain: list[tuple[np.ndarray, np.ndarray]] | None = None
+        self._reorder_cache: dict[int, tuple] = {}  # id -> (weakref, reordered)
+        self._reorder_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # The lock is unpicklable and the memo caches are per-process;
+        # drop them so compressed grids travel through process executors.
+        state = self.__dict__.copy()
+        for transient in ("_active_chain", "_reorder_cache", "_reorder_lock"):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__post_init__()
+
     @property
     def num_xps(self) -> int:
         """Size of the unique factor table (including the sentinel)."""
@@ -226,6 +260,64 @@ class CompressedGrid:
                 f"surplus has {surplus.shape[0]} rows, grid has {self.num_points} points"
             )
         return surplus[self.order]
+
+    def reorder_cached(self, surplus: np.ndarray) -> np.ndarray:
+        """Memoized :meth:`reorder` for repeated kernel calls.
+
+        Only *deeply frozen* arrays (read-only through the whole view
+        chain) participate in the memo: freezing is the owner's pledge
+        that the values cannot change
+        (:meth:`SparseGridInterpolant.set_surplus` freezes its private
+        copy on attach), and it is what makes identity-keyed caching
+        safe.  Anything else — e.g. a buffer a caller updates in place
+        between direct ``evaluate()`` calls, or a read-only view over a
+        writable base — falls through to a plain :meth:`reorder` every
+        time, preserving recompute-per-call semantics.  The memo holds
+        *weak* references to the key arrays — a hit requires the exact
+        array to still be alive, which also makes recycled ids harmless —
+        so it never pins dead surplus matrices of long-lived shared grids.
+        It keeps the most recent few entries (one interpolant per discrete
+        state sharing a compressed grid) and is lock-protected because
+        compressed grids are shared across the threaded executors.
+        """
+        if not _deeply_frozen(surplus):
+            return self.reorder(surplus)
+        key = id(surplus)
+        hit = self._reorder_cache.get(key)
+        if hit is not None and hit[0]() is surplus:
+            return hit[1]
+        out = self.reorder(surplus)
+        with self._reorder_lock:
+            cache = self._reorder_cache
+            if len(cache) >= 8:
+                for dead in [k for k, (ref, _) in cache.items() if ref() is None]:
+                    del cache[dead]
+            if len(cache) >= 8:
+                cache.pop(next(iter(cache), None), None)
+            cache[key] = (weakref.ref(surplus), out)
+        return out
+
+    def active_chain(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-frequency active chain entries, precomputed once.
+
+        Returns one ``(rows, xps_ids)`` pair per frequency that still has
+        live chains: ``rows`` are the (reordered) grid points whose chain
+        has not terminated at this frequency, ``xps_ids`` the factor-table
+        entries they reference.  Because chains terminate monotonically,
+        the list simply ends at the first all-terminated frequency.  This
+        replaces the per-block ``idx > 0`` mask recomputation in the
+        kernels.
+        """
+        if self._active_chain is None:
+            active = []
+            for f in range(self.nfreq):
+                col = self.chains[:, f]
+                rows = np.flatnonzero(col > 0)
+                if rows.size == 0:
+                    break
+                active.append((rows, col[rows].astype(np.int64)))
+            self._active_chain = active
+        return self._active_chain
 
 
 def compress_grid(grid: SparseGrid) -> CompressedGrid:
@@ -269,6 +361,19 @@ def compress_grid(grid: SparseGrid) -> CompressedGrid:
         levels=grid.levels,
         indices=grid.indices,
     )
+
+
+def compressed_for(grid: SparseGrid) -> CompressedGrid:
+    """Shared compressed representation of a grid, cached on the grid.
+
+    Every consumer of the same :class:`~repro.grids.grid.SparseGrid` object
+    (one interpolant per discrete state, repeated time-iteration steps)
+    receives the *same* :class:`CompressedGrid`, so the compression
+    pipeline and the per-frequency/reorder caches are paid once per grid
+    mutation epoch.  The cache is keyed by ``grid.version`` and therefore
+    invalidated by ``add_points``.
+    """
+    return grid.cached_derived("compressed", compress_grid)
 
 
 def compression_stats(grid: SparseGrid, compressed: CompressedGrid | None = None) -> dict:

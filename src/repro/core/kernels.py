@@ -67,12 +67,8 @@ def _chain_products(comp: CompressedGrid, xpv_block: np.ndarray) -> np.ndarray:
     """
     b = xpv_block.shape[0]
     temp = np.ones((b, comp.num_points), dtype=float)
-    for f in range(comp.nfreq):
-        idx = comp.chains[:, f]
-        active = idx > 0
-        if not np.any(active):
-            break
-        temp[:, active] *= xpv_block[:, idx[active]]
+    for rows, cols in comp.active_chain():
+        temp[:, rows] *= xpv_block[:, cols]
     return temp
 
 
@@ -111,7 +107,7 @@ def kernel_gold(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray) -> np.
 def kernel_x86(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray) -> np.ndarray:
     """Compressed layout, one query point at a time (``nno x nfreq`` work)."""
     surplus, X = _validate(comp, surplus, X)
-    surplus_r = comp.reorder(surplus)
+    surplus_r = comp.reorder_cached(surplus)
     out = np.empty((X.shape[0], surplus.shape[1]), dtype=float)
     xpv = factor_values(comp, X)
     for q in range(X.shape[0]):
@@ -125,7 +121,7 @@ def _kernel_blocked(
 ) -> np.ndarray:
     """Compressed layout with query points processed ``block`` at a time."""
     surplus, X = _validate(comp, surplus, X)
-    surplus_r = comp.reorder(surplus)
+    surplus_r = comp.reorder_cached(surplus)
     m = X.shape[0]
     out = np.empty((m, surplus.shape[1]), dtype=float)
     xpv = factor_values(comp, X)
@@ -161,7 +157,7 @@ def kernel_avx512(
     element-wise products and GEMMs, so threads genuinely overlap.
     """
     surplus, X = _validate(comp, surplus, X)
-    surplus_r = comp.reorder(surplus)
+    surplus_r = comp.reorder_cached(surplus)
     m = X.shape[0]
     out = np.zeros((m, surplus.shape[1]), dtype=float)
     xpv = factor_values(comp, X)
@@ -169,17 +165,21 @@ def kernel_avx512(
     bounds = np.linspace(0, comp.num_points, num_threads + 1, dtype=np.int64)
 
     def _partial(chunk_lo: int, chunk_hi: int) -> np.ndarray:
-        chains = comp.chains[chunk_lo:chunk_hi]
+        # Slice the precomputed per-frequency active lists down to this
+        # chunk once (rows are sorted, so a searchsorted pair suffices)
+        # instead of recomputing idx > 0 masks per block and frequency.
+        chunk_active = []
+        for rows, cols in comp.active_chain():
+            a, b = np.searchsorted(rows, (chunk_lo, chunk_hi))
+            if a == b:
+                break  # chains terminate monotonically per point
+            chunk_active.append((rows[a:b] - chunk_lo, cols[a:b]))
         part = np.zeros((m, surplus.shape[1]), dtype=float)
         for start in range(0, m, block):
             stop = min(start + block, m)
             temp = np.ones((stop - start, chunk_hi - chunk_lo), dtype=float)
-            for f in range(comp.nfreq):
-                idx = chains[:, f]
-                active = idx > 0
-                if not np.any(active):
-                    break
-                temp[:, active] *= xpv[start:stop][:, idx[active]]
+            for rows, cols in chunk_active:
+                temp[:, rows] *= xpv[start:stop][:, cols]
             part[start:stop] = temp @ surplus_r[chunk_lo:chunk_hi]
         return part
 
@@ -212,7 +212,7 @@ def kernel_cuda(
     work buffer would exceed ``memory_budget_mb``.
     """
     surplus, X = _validate(comp, surplus, X)
-    surplus_r = comp.reorder(surplus)
+    surplus_r = comp.reorder_cached(surplus)
     m = X.shape[0]
     # cap the block so the (block, num_points) buffer stays within budget
     max_rows = int(memory_budget_mb * 1e6 / (8 * max(comp.num_points, 1)))

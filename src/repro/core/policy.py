@@ -9,6 +9,12 @@ approximate it with one adaptive sparse grid per discrete state ``z``:
 * :class:`PolicySet` — the collection over all ``Ns`` states, which is what
   gets interpolated when solving the equilibrium conditions (``p_next`` in
   Algorithm 1).
+
+State policies that share one grid object (the non-adaptive time iteration
+hands every state the same cached regular grid) also share its
+hierarchization structure and compressed kernel representation through the
+grid-attached caches (see :mod:`repro.grids.grid`), so fitting and
+evaluating ``Ns`` policies pays the grid preprocessing once.
 """
 
 from __future__ import annotations

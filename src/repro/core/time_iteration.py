@@ -10,6 +10,18 @@ the :class:`TimeIterationModel` protocol (the stochastic OLG model of
 models).  Grid-point solves are dispatched through a pluggable executor so
 the same driver runs serially, on the work-stealing thread scheduler, or on
 a simulated heterogeneous cluster.
+
+In the non-adaptive configuration every state and every iteration uses the
+*same* regular sparse grid, so the solver keeps one cached
+:class:`~repro.grids.grid.SparseGrid` per ``(dim, level)`` and reuses it
+across states and iterations.  Because the grid object is shared and never
+mutated, its attached caches — the hierarchization ancestor structure and
+the compressed kernel representation — are built exactly once per solve
+instead of once per state per iteration.  (The adaptive path copies the
+previous state grid before refining it, which starts a fresh cache epoch.)
+Consequently the policies of a non-adaptive result share one grid object
+across states; callers who want to refine a returned policy's grid should
+refine a ``grid.copy()`` (as the adaptive path itself does).
 """
 
 from __future__ import annotations
@@ -170,6 +182,9 @@ class TimeIterationResult:
 class _SerialExecutor:
     """Minimal executor used when no scheduler is supplied."""
 
+    #: marker consumed by the solver's direct-fill fast path
+    is_serial = True
+
     def map(self, fn, items):
         return [fn(item) for item in items]
 
@@ -199,6 +214,25 @@ class TimeIterationSolver:
         self.model = model
         self.config = config or TimeIterationConfig()
         self.executor = executor if executor is not None else _SerialExecutor()
+        # Regular grids reused across states and iterations (never mutated,
+        # so their ancestor/compression caches are shared as well).
+        self._grid_cache: dict[tuple[int, int], SparseGrid] = {}
+
+    def _regular_grid(self, level: int) -> SparseGrid:
+        """Shared regular grid for the model's state dimension (cached).
+
+        Policies returned by the solver reference this shared object; if a
+        caller mutated it (e.g. refined a returned policy's grid to
+        continue adaptively), ``version`` is no longer 0 and the cache
+        entry is rebuilt so later solves still start from the configured
+        regular grid.
+        """
+        key = (self.model.state_dim, level)
+        grid = self._grid_cache.get(key)
+        if grid is None or grid.version != 0:
+            grid = regular_sparse_grid(*key)
+            self._grid_cache[key] = grid
+        return grid
 
     # ------------------------------------------------------------------ #
     # policy initialisation
@@ -207,7 +241,7 @@ class TimeIterationSolver:
         """Build the initial guess ``p^0`` on regular grids."""
         policies = []
         for z in range(self.model.num_states):
-            grid = regular_sparse_grid(self.model.state_dim, self.config.grid_level)
+            grid = self._regular_grid(self.config.grid_level)
             X = self.model.domain.from_unit(grid.points)
             values = np.atleast_2d(
                 np.asarray(self.model.initial_policy_values(z, X), dtype=float)
@@ -231,15 +265,24 @@ class TimeIterationSolver:
     ) -> np.ndarray:
         """Solve the equilibrium system at each row of ``X`` for state ``z``."""
         model = self.model
+        out = np.empty((X.shape[0], model.num_policies), dtype=float)
+
+        def solve_row(row: int) -> np.ndarray:
+            guess = None if guesses is None else guesses[row]
+            return np.asarray(model.solve_point(z, X[row], policy_next, guess), dtype=float)
+
+        if getattr(self.executor, "is_serial", False):
+            # Fast path: fill the output array directly instead of
+            # round-tripping (row, values) tuples through an executor.
+            for row in range(X.shape[0]):
+                out[row] = solve_row(row)
+            return out
 
         def task(item):
-            row, x = item
-            guess = None if guesses is None else guesses[row]
-            return row, np.asarray(model.solve_point(z, x, policy_next, guess), dtype=float)
+            row, _x = item
+            return row, solve_row(row)
 
-        items = list(enumerate(X))
-        results = self.executor.map(task, items)
-        out = np.empty((X.shape[0], model.num_policies), dtype=float)
+        results = self.executor.map(task, list(enumerate(X)))
         for row, values in results:
             out[row] = values
         return out
@@ -256,7 +299,9 @@ class TimeIterationSolver:
                     # restart from the previous state grid (keeps refined regions)
                     grid = prev.grid.copy()
                 else:
-                    grid = regular_sparse_grid(self.model.state_dim, cfg.grid_level)
+                    # shared cached grid: ancestor structure and compression
+                    # are reused across states and iterations
+                    grid = self._regular_grid(cfg.grid_level)
             X = self.model.domain.from_unit(grid.points)
             with clock.section("solve"):
                 guesses = (

@@ -29,7 +29,7 @@ from repro.grids.hierarchical import (
 )
 from repro.grids.grid import SparseGrid
 from repro.grids.regular import regular_sparse_grid, regular_grid_size
-from repro.grids.hierarchize import hierarchize, evaluate_dense
+from repro.grids.hierarchize import hierarchize, evaluate_dense, ancestor_csr, AncestorCSR
 from repro.grids.adaptive import refine, refinement_candidates, AdaptiveRefiner
 from repro.grids.domain import BoxDomain
 from repro.grids.interpolation import SparseGridInterpolant
@@ -51,6 +51,8 @@ __all__ = [
     "regular_grid_size",
     "hierarchize",
     "evaluate_dense",
+    "ancestor_csr",
+    "AncestorCSR",
     "refine",
     "refinement_candidates",
     "AdaptiveRefiner",

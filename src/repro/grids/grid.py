@@ -6,6 +6,24 @@ container stores them as two ``(num_points, dim)`` integer arrays plus the
 derived coordinates, and offers dictionary-style lookup, point insertion
 (keeping hierarchical consistency helpers in :mod:`repro.grids.adaptive`)
 and dense basis evaluation.
+
+Caching contract
+----------------
+The grid owns several derived structures that are expensive to rebuild and
+are consumed on every fit/evaluate call:
+
+* ``points`` and ``level_sums`` — cached arrays derived from the
+  multi-indices;
+* the ancestor structure of :func:`repro.grids.hierarchize.ancestor_csr`;
+* the compressed representation of
+  :func:`repro.core.compression.compressed_for`.
+
+All of them are keyed by :attr:`SparseGrid.version`, a counter that
+:meth:`add_points` bumps whenever at least one new point is appended.  The
+*only* supported mutation path is ``add_points``; writing to ``levels`` /
+``indices`` directly bypasses invalidation and leaves the caches stale.
+Cached arrays are shared, not copied — callers must treat them as
+read-only.
 """
 
 from __future__ import annotations
@@ -69,7 +87,10 @@ class SparseGrid:
             if key in self._lookup:
                 raise ValueError(f"duplicate grid point {key}")
             self._lookup[key] = row
+        self._version = 0
         self._points_cache: np.ndarray | None = None
+        self._level_sums_cache: np.ndarray | None = None
+        self._derived_caches: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -83,6 +104,15 @@ class SparseGrid:
         return self.levels.shape[0]
 
     @property
+    def version(self) -> int:
+        """Mutation counter; bumped by :meth:`add_points`.
+
+        Derived-structure caches (points, level sums, ancestor structure,
+        compressed representation) are keyed by this value.
+        """
+        return self._version
+
+    @property
     def points(self) -> np.ndarray:
         """``(num_points, dim)`` coordinates in the unit box (cached)."""
         if self._points_cache is None or self._points_cache.shape[0] != len(self):
@@ -91,8 +121,10 @@ class SparseGrid:
 
     @property
     def level_sums(self) -> np.ndarray:
-        """``|l|_1`` per point (used for level-ordered hierarchization)."""
-        return self.levels.sum(axis=1).astype(np.int64)
+        """``|l|_1`` per point (cached; used on every hierarchization)."""
+        if self._level_sums_cache is None or self._level_sums_cache.shape[0] != len(self):
+            self._level_sums_cache = self.levels.sum(axis=1).astype(np.int64)
+        return self._level_sums_cache
 
     @property
     def max_level(self) -> int:
@@ -137,8 +169,34 @@ class SparseGrid:
         if new_rows:
             self.levels = np.vstack([self.levels, np.asarray(new_levels, dtype=np.int32)])
             self.indices = np.vstack([self.indices, np.asarray(new_indices, dtype=np.int32)])
-            self._points_cache = None
+            self._invalidate_caches()
         return np.asarray(new_rows, dtype=np.int64)
+
+    def _invalidate_caches(self) -> None:
+        """Bump the version and drop every derived-structure cache."""
+        self._version += 1
+        self._points_cache = None
+        self._level_sums_cache = None
+        self._derived_caches.clear()
+
+    def cached_derived(self, name: str, builder):
+        """Version-keyed cache for expensive structures derived from the grid.
+
+        ``builder(grid)`` is invoked at most once per mutation epoch per
+        ``name``; the result is stored until :meth:`add_points` changes the
+        grid.  This is the single memoization point for the ancestor
+        structure of :func:`repro.grids.hierarchize.ancestor_csr` and the
+        compressed representation of
+        :func:`repro.core.compression.compressed_for`, so invalidation
+        stays centralized in :meth:`_invalidate_caches`.  Returned objects
+        are shared — treat them as read-only.
+        """
+        cached = self._derived_caches.get(name)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        value = builder(self)
+        self._derived_caches[name] = (self._version, value)
+        return value
 
     def copy(self) -> "SparseGrid":
         """Deep copy of the grid."""

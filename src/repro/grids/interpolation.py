@@ -4,6 +4,24 @@
 with: the OLG time iteration stores one interpolant per discrete shock state
 (holding the 2(A-1) policy/value coefficients) and evaluates it through the
 compressed kernels of :mod:`repro.core.kernels`.
+
+Caching contract
+----------------
+An interpolant does not own its compressed representation: it fetches the
+grid-attached shared one via :func:`repro.core.compression.compressed_for`,
+so every interpolant on the same :class:`~repro.grids.grid.SparseGrid`
+object (e.g. one per discrete shock state, or successive time-iteration
+steps reusing a cached regular grid) shares a single
+:class:`~repro.core.compression.CompressedGrid`.  That cache is keyed by
+``grid.version`` and is invalidated by ``grid.add_points``.
+
+:meth:`SparseGridInterpolant.set_surplus` stores a private frozen copy of
+the surpluses as one stable 2-D array that is handed to the kernels
+unchanged on every call, so the compressed grid's reorder memoization
+(:meth:`~repro.core.compression.CompressedGrid.reorder_cached`) hits on
+every evaluation after the first; setting new surpluses (or refitting via
+:meth:`SparseGridInterpolant.fit_values`) naturally rolls the cache over,
+while later changes to the caller's original array have no effect.
 """
 
 from __future__ import annotations
@@ -53,6 +71,7 @@ class SparseGridInterpolant:
             raise ValueError("domain dimension must match grid dimension")
         self.kernel = kernel
         self._surplus: np.ndarray | None = None
+        self._surplus_2d: np.ndarray | None = None
         self._compressed = None
         if surplus is not None:
             self.set_surplus(surplus)
@@ -93,14 +112,27 @@ class SparseGridInterpolant:
         return 1 if s.ndim == 1 else s.shape[1]
 
     def set_surplus(self, surplus: np.ndarray) -> None:
-        """Attach pre-computed surpluses (invalidates the compressed cache)."""
-        surplus = np.asarray(surplus, dtype=float)
+        """Attach pre-computed surpluses.
+
+        The interpolant takes a private *copy* of the surpluses and
+        freezes it (``writeable = False``): one stable read-only array is
+        handed to every kernel call, which is what makes the compressed
+        grid's identity-keyed reorder memoization safe; attaching a new
+        array rolls that memo over.  The caller's array is left untouched
+        and later changes to it have no effect — refit or call
+        ``set_surplus`` again to change values.  The compressed
+        representation itself is re-resolved against ``grid.version`` on
+        every evaluation, so no explicit invalidation is needed here.
+        """
+        surplus = np.array(surplus, dtype=float, copy=True)
         if surplus.shape[0] != len(self.grid):
             raise ValueError(
                 f"surplus has {surplus.shape[0]} rows, grid has {len(self.grid)} points"
             )
+        surplus.flags.writeable = False
         self._surplus = surplus
-        self._compressed = None
+        # a view of the frozen base, itself read-only
+        self._surplus_2d = surplus[:, None] if surplus.ndim == 1 else surplus
 
     def fit_values(self, values: np.ndarray) -> None:
         """Hierarchize nodal values (ordered like ``grid.points``)."""
@@ -110,10 +142,12 @@ class SparseGridInterpolant:
     # evaluation
     # ------------------------------------------------------------------ #
     def _ensure_compressed(self):
-        from repro.core.compression import compress_grid
+        from repro.core.compression import compressed_for
 
-        if self._compressed is None:
-            self._compressed = compress_grid(self.grid)
+        # The shared, grid-attached compressed representation; cheap to
+        # re-fetch (a version check) and automatically rebuilt after
+        # grid.add_points.
+        self._compressed = compressed_for(self.grid)
         return self._compressed
 
     def __call__(self, X: np.ndarray, kernel: str | None = None) -> np.ndarray:
@@ -131,9 +165,8 @@ class SparseGridInterpolant:
         if X2.shape[1] != self.grid.dim:
             raise ValueError(f"query points must have {self.grid.dim} columns")
         unit = self.domain.to_unit(X2)
-        surplus = self.surplus
-        scalar = surplus.ndim == 1
-        surplus2 = surplus[:, None] if scalar else surplus
+        scalar = self.surplus.ndim == 1
+        surplus2 = self._surplus_2d  # stable object -> reorder cache hits
         comp = self._ensure_compressed()
         out = evaluate(
             comp,

@@ -16,6 +16,10 @@ __all__ = ["SerialExecutor", "ThreadPoolMapExecutor", "ProcessPoolMapExecutor", 
 class SerialExecutor:
     """Single-threaded reference executor."""
 
+    #: consumers with a serial fast path (e.g. the time-iteration solver's
+    #: direct-fill _solve_points) key off this marker
+    is_serial = True
+
     def map(self, fn, items) -> list:
         return [fn(item) for item in items]
 

@@ -1,0 +1,251 @@
+"""Cache-correctness tests for the fit/evaluate hot path.
+
+The hierarchization structure, level sums and compressed representation
+are cached on the grid (keyed by ``grid.version``); these tests pin down
+that every cache is invalidated by ``add_points`` and that cached results
+stay bit-identical to the uncached references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import compress_grid, compressed_for
+from repro.core.kernels import evaluate, list_kernels
+from repro.core.time_iteration import TimeIterationSolver
+from repro.grids.adaptive import refine
+from repro.grids.domain import BoxDomain
+from repro.grids.hierarchize import (
+    ancestor_csr,
+    evaluate_dense,
+    hierarchize,
+    hierarchize_dense,
+)
+from repro.grids.interpolation import SparseGridInterpolant
+from repro.grids.regular import regular_sparse_grid
+
+
+def _func(X):
+    return np.sin(3.0 * X[:, 0]) * np.cos(2.0 * X[:, 1]) + X[:, -1] ** 3
+
+
+def _adaptive_grid(dim=2, start_level=2, sweeps=3):
+    """A non-regular grid grown by surplus-driven refinement."""
+    grid = regular_sparse_grid(dim, start_level)
+    for _ in range(sweeps):
+        values = _func(grid.points)
+        surplus = hierarchize(grid, values)
+        if refine(grid, surplus, epsilon=1e-3, max_level=5).size == 0:
+            break
+    return grid
+
+
+class TestHierarchizeCache:
+    def test_repeated_calls_reuse_structure(self):
+        grid = regular_sparse_grid(2, 4)
+        csr1 = ancestor_csr(grid)
+        hierarchize(grid, _func(grid.points))
+        assert ancestor_csr(grid) is csr1
+
+    def test_matches_dense_after_add_points(self):
+        """A cached grid mutated by add_points must not serve stale structure."""
+        grid = regular_sparse_grid(2, 3)
+        values = _func(grid.points)
+        before = hierarchize(grid, values)
+        np.testing.assert_allclose(before, hierarchize_dense(grid, values), atol=1e-12)
+
+        old_version = grid.version
+        surplus = hierarchize(grid, values)
+        refine(grid, surplus, epsilon=0.0, max_level=5)
+        assert grid.version > old_version
+
+        values = _func(grid.points)
+        after = hierarchize(grid, values)
+        np.testing.assert_allclose(after, hierarchize_dense(grid, values), atol=1e-12)
+
+    def test_level_sums_cached_and_invalidated(self):
+        grid = regular_sparse_grid(3, 3)
+        sums = grid.level_sums
+        assert grid.level_sums is sums  # cache hit returns the same array
+        grid.add_points([[4, 1, 1]], [[1, 1, 1]])
+        new_sums = grid.level_sums
+        assert new_sums.shape[0] == len(grid)
+        np.testing.assert_array_equal(new_sums, grid.levels.sum(axis=1))
+
+    def test_copy_starts_fresh_cache_epoch(self):
+        grid = regular_sparse_grid(2, 3)
+        hierarchize(grid, _func(grid.points))
+        clone = grid.copy()
+        values = _func(clone.points)
+        np.testing.assert_allclose(
+            hierarchize(clone, values), hierarchize_dense(clone, values), atol=1e-12
+        )
+
+
+class TestCompressedGridCache:
+    def test_compressed_for_is_shared(self):
+        grid = regular_sparse_grid(3, 3)
+        assert compressed_for(grid) is compressed_for(grid)
+
+    def test_compressed_for_invalidated_by_add_points(self):
+        grid = regular_sparse_grid(2, 3)
+        comp = compressed_for(grid)
+        grid.add_points([[5, 1]], [[1, 1]])
+        comp2 = compressed_for(grid)
+        assert comp2 is not comp
+        assert comp2.num_points == len(grid)
+
+    def test_interpolants_share_compressed_grid(self):
+        grid = regular_sparse_grid(2, 4)
+        values = _func(grid.points)
+        a = SparseGridInterpolant(grid, surplus=hierarchize(grid, values))
+        b = SparseGridInterpolant(grid, surplus=hierarchize(grid, 2.0 * values))
+        X = np.random.default_rng(0).random((20, 2))
+        a(X), b(X)
+        assert a._compressed is b._compressed
+
+    def test_set_surplus_after_grid_growth(self):
+        """Growing the grid, then refitting, must rebuild the compression."""
+        grid = regular_sparse_grid(2, 3)
+        interp = SparseGridInterpolant(grid, surplus=hierarchize(grid, _func(grid.points)))
+        X = np.random.default_rng(1).random((50, 2))
+        interp(X)  # populate the compressed cache
+
+        surplus = hierarchize(grid, _func(grid.points))
+        refine(grid, surplus, epsilon=0.0, max_level=5)
+        values = _func(grid.points)
+        interp.set_surplus(hierarchize(grid, values))
+        np.testing.assert_allclose(
+            interp(X), evaluate_dense(grid, interp.surplus, X), atol=1e-12
+        )
+
+    def test_reorder_cached_matches_reorder(self):
+        grid = regular_sparse_grid(3, 3)
+        comp = compress_grid(grid)
+        surplus = np.random.default_rng(2).standard_normal((len(grid), 4))
+        np.testing.assert_array_equal(comp.reorder_cached(surplus), comp.reorder(surplus))
+        # writable arrays are never memoized: the caller may mutate them
+        surplus[0, 0] += 1.0
+        np.testing.assert_array_equal(comp.reorder_cached(surplus), comp.reorder(surplus))
+        assert comp.reorder_cached(surplus) is not comp.reorder_cached(surplus)
+        # frozen arrays opt in to the identity-keyed memo
+        surplus.flags.writeable = False
+        assert comp.reorder_cached(surplus) is comp.reorder_cached(surplus)
+
+    def test_interpolant_owns_frozen_surplus_copy(self):
+        grid = regular_sparse_grid(2, 3)
+        s = hierarchize(grid, _func(grid.points))
+        interp = SparseGridInterpolant(grid, surplus=s)
+        X = np.random.default_rng(7).random((5, 2))
+        first = interp(X)
+        s[0] = 99.0  # caller's array stays writable and detached
+        np.testing.assert_array_equal(interp(X), first)
+        assert not interp.surplus.flags.writeable
+        with pytest.raises(ValueError):
+            interp.surplus[0] = 1.0
+
+    def test_frozen_view_over_writable_base_is_not_memoized(self):
+        grid = regular_sparse_grid(2, 3)
+        comp = compress_grid(grid)
+        base = np.ones((len(grid), 2))
+        view = base.view()
+        view.flags.writeable = False  # frozen view, but base can still change
+        first = comp.reorder_cached(view)
+        base[:] = 2.0
+        np.testing.assert_array_equal(comp.reorder_cached(view), comp.reorder(base))
+        assert not np.array_equal(first, comp.reorder_cached(view))
+
+    def test_compressed_grid_pickles_after_use(self):
+        import pickle
+
+        grid = regular_sparse_grid(2, 3)
+        comp = compressed_for(grid)
+        surplus = hierarchize(grid, _func(grid.points))
+        X = np.random.default_rng(8).random((10, 2))
+        expected = evaluate(comp, surplus, X, kernel="cuda")  # populates caches
+        clone = pickle.loads(pickle.dumps(comp))
+        np.testing.assert_allclose(
+            evaluate(clone, surplus, X, kernel="cuda"), expected, atol=1e-15
+        )
+
+    def test_active_chain_covers_all_nonzero_entries(self):
+        grid = _adaptive_grid()
+        comp = compress_grid(grid)
+        total = sum(rows.size for rows, _ in comp.active_chain())
+        assert total == int(np.count_nonzero(comp.chains))
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("kernel", list_kernels())
+    def test_kernels_match_dense_on_regular_grid(self, kernel):
+        grid = regular_sparse_grid(3, 4)
+        values = _func(grid.points)
+        surplus = hierarchize(grid, np.stack([values, values**2], axis=1))
+        comp = compressed_for(grid)
+        X = np.random.default_rng(3).random((40, 3))
+        np.testing.assert_allclose(
+            evaluate(comp, surplus, X, kernel=kernel),
+            evaluate_dense(grid, surplus, X),
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("kernel", list_kernels())
+    def test_kernels_match_dense_on_adaptive_grid(self, kernel):
+        grid = _adaptive_grid()
+        values = _func(grid.points)
+        surplus = hierarchize(grid, np.stack([values, 0.5 - values], axis=1))
+        comp = compressed_for(grid)
+        X = np.random.default_rng(4).random((40, 2))
+        np.testing.assert_allclose(
+            evaluate(comp, surplus, X, kernel=kernel),
+            evaluate_dense(grid, surplus, X),
+            atol=1e-12,
+        )
+
+
+class _StubModel:
+    """Minimal TimeIterationModel whose point solves are deterministic."""
+
+    num_states = 1
+    state_dim = 2
+    num_policies = 3
+    domain = BoxDomain.cube(2)
+
+    def initial_policy_values(self, z, X):
+        return np.zeros((X.shape[0], self.num_policies))
+
+    def solve_point(self, z, x, policy_next, guess=None):
+        base = np.array([x[0], x[1], x[0] * x[1]])
+        if guess is not None:
+            base = base + 0.1 * np.asarray(guess)
+        return base
+
+
+class _ReversingExecutor:
+    """Executor that returns results out of order to exercise row mapping."""
+
+    def map(self, fn, items):
+        return [fn(item) for item in reversed(list(items))]
+
+
+class TestSolvePointsFastPath:
+    def test_serial_fast_path_matches_executor_path(self):
+        X = np.random.default_rng(5).random((17, 2))
+        guesses = np.random.default_rng(6).random((17, 3))
+        serial = TimeIterationSolver(_StubModel())
+        executor = TimeIterationSolver(_StubModel(), executor=_ReversingExecutor())
+        for g in (None, guesses):
+            np.testing.assert_allclose(
+                serial._solve_points(0, X, None, g),
+                executor._solve_points(0, X, None, g),
+            )
+
+    def test_public_serial_executor_takes_fast_path(self):
+        from repro.parallel.executor import make_executor
+
+        executor = make_executor("serial")
+        assert getattr(executor, "is_serial", False)
+        X = np.random.default_rng(9).random((7, 2))
+        np.testing.assert_allclose(
+            TimeIterationSolver(_StubModel(), executor=executor)._solve_points(0, X, None, None),
+            TimeIterationSolver(_StubModel())._solve_points(0, X, None, None),
+        )
