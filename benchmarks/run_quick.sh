@@ -1,19 +1,60 @@
 #!/usr/bin/env bash
-# Quick verification + fit-path perf smoke: tier-1 tests followed by the
-# hierarchization micro-benchmark, so fit-path perf regressions surface
-# alongside correctness failures.  Usage: benchmarks/run_quick.sh
+# Quick verification + fit-path perf smoke: tier-1 tests followed by a
+# 2-scenario CLI smoke sweep (with a kill/resume leg) and the
+# hierarchization micro-benchmark, so scenario-engine and fit-path
+# regressions surface alongside correctness failures.
+# Usage: benchmarks/run_quick.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -q
-python benchmarks/bench_hierarchize.py --quick
+
+# --- scenario-engine smoke sweep through the CLI ------------------------- #
+export SCENARIO_STORE="$(mktemp -d)"
+trap 'rm -rf "$SCENARIO_STORE" "$SCENARIO_STORE-fresh"' EXIT
+python -m repro.scenarios run smoke --store "$SCENARIO_STORE" --dry-run
+# first pass is killed after one iteration (checkpoint survives) ...
+python -m repro.scenarios run smoke --store "$SCENARIO_STORE" --interrupt-after 1 || true
+# ... the identical re-invocation resumes from the checkpoints and completes
+python -m repro.scenarios run smoke --store "$SCENARIO_STORE"
+python -m repro.scenarios show --store "$SCENARIO_STORE"
 
 python - <<'EOF'
-import json
+import json, os, numpy as np
+from repro.scenarios import ResultsStore, get_preset, run_suite
 
-artifact = json.load(open("BENCH_hierarchize.json"))
+store = ResultsStore(os.environ["SCENARIO_STORE"])
+suite = get_preset("smoke")
+entries = [store.entry(s) for s in suite]
+assert all(e and e["status"] == "completed" for e in entries), entries
+assert all(e["resumed"] for e in entries), "smoke sweep should have resumed from checkpoints"
+
+# resumed results must match uninterrupted solves of the same specs
+fresh = ResultsStore(os.environ["SCENARIO_STORE"] + "-fresh")
+run_suite(suite, fresh)
+for spec in suite:
+    a, b = store.load_result(spec), fresh.load_result(spec)
+    assert a.iterations == b.iterations
+    X = spec.build_model().domain.sample(20, rng=0)
+    diff = max(
+        float(np.max(np.abs(a.policy.evaluate(z, X) - b.policy.evaluate(z, X))))
+        for z in range(len(a.policy))
+    )
+    assert diff <= 1e-12, f"{spec.name}: resumed vs uninterrupted policy diff {diff}"
+print("scenario smoke OK: killed sweep resumed bit-for-bit and was skipped-by-hash safe")
+EOF
+
+# write the quick sweep to a scratch file: the default --out would clobber
+# the canonical full-sweep BENCH_hierarchize.json artifact at the repo root
+export QUICK_BENCH_OUT="$SCENARIO_STORE/bench_quick.json"
+python benchmarks/bench_hierarchize.py --quick --out "$QUICK_BENCH_OUT"
+
+python - <<'EOF'
+import json, os
+
+artifact = json.load(open(os.environ["QUICK_BENCH_OUT"]))
 slow = [
     c for c in artifact["cases"]
     if c["num_points"] >= 29 and c["warm_speedup_vs_seed"] < 5.0

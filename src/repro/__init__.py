@@ -26,6 +26,12 @@ The package provides four layers:
 ``repro.experiments``
     Harnesses that regenerate every table and figure of the paper's
     evaluation section.
+
+``repro.scenarios``
+    Scenario engine: declarative scenario suites with content hashing,
+    checkpoint/resume of time-iteration solves, a batch runner over the
+    parallel executors and a provenance-tracked results store
+    (``python -m repro.scenarios``).
 """
 
 from repro.grids import (
@@ -45,7 +51,7 @@ from repro.core import (
 )
 from repro.olg import OLGModel, OLGCalibration, small_calibration, paper_calibration
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SparseGrid",

@@ -275,7 +275,9 @@ class CompressedGrid:
         time, preserving recompute-per-call semantics.  The memo holds
         *weak* references to the key arrays — a hit requires the exact
         array to still be alive, which also makes recycled ids harmless —
-        so it never pins dead surplus matrices of long-lived shared grids.
+        and evicts dead entries on every insert, so dead surplus matrices
+        of long-lived shared grids are dropped no later than the next
+        cache roll-over.
         It keeps the most recent few entries (one interpolant per discrete
         state sharing a compressed grid) and is lock-protected because
         compressed grids are shared across the threaded executors.
@@ -289,9 +291,11 @@ class CompressedGrid:
         out = self.reorder(surplus)
         with self._reorder_lock:
             cache = self._reorder_cache
-            if len(cache) >= 8:
-                for dead in [k for k, (ref, _) in cache.items() if ref() is None]:
-                    del cache[dead]
+            # purge dead entries on *every* insert, not only at capacity:
+            # otherwise a handful of dead keys could pin their full-size
+            # reordered copies on a long-lived grid-attached instance
+            for dead in [k for k, (ref, _) in cache.items() if ref() is None]:
+                del cache[dead]
             if len(cache) >= 8:
                 cache.pop(next(iter(cache), None), None)
             cache[key] = (weakref.ref(surplus), out)

@@ -68,9 +68,40 @@ class StatePolicy:
         interp.set_surplus(hierarchize(grid, values))
         return cls(state=state, interpolant=interp, nodal_values=values)
 
+    @classmethod
+    def from_surplus(
+        cls,
+        state: int,
+        grid: SparseGrid,
+        surplus: np.ndarray,
+        nodal_values: np.ndarray,
+        domain: BoxDomain,
+        kernel: str = "cuda",
+    ) -> "StatePolicy":
+        """Rebuild a policy from already-fitted surpluses.
+
+        Unlike :meth:`from_values` this does *not* re-hierarchize, so a
+        policy deserialized from disk evaluates bit-for-bit like the one
+        that was saved (the property the checkpoint/resume machinery of
+        :mod:`repro.scenarios` relies on).
+        """
+        interp = SparseGridInterpolant(grid, domain=domain, kernel=kernel)
+        interp.set_surplus(surplus)
+        nodal_values = np.asarray(nodal_values, dtype=float)
+        if nodal_values.ndim == 1:
+            nodal_values = nodal_values[:, None]
+        if nodal_values.shape[0] != len(grid):
+            raise ValueError("nodal_values rows must match grid points")
+        return cls(state=state, interpolant=interp, nodal_values=nodal_values)
+
     @property
     def grid(self) -> SparseGrid:
         return self.interpolant.grid
+
+    @property
+    def kernel(self) -> str:
+        """Interpolation kernel the policy evaluates with."""
+        return self.interpolant.kernel
 
     @property
     def num_points(self) -> int:

@@ -278,11 +278,10 @@ class TimeIterationSolver:
                 out[row] = solve_row(row)
             return out
 
-        def task(item):
-            row, _x = item
+        def task(row):
             return row, solve_row(row)
 
-        results = self.executor.map(task, list(enumerate(X)))
+        results = self.executor.map(task, range(X.shape[0]))
         for row, values in results:
             out[row] = values
         return out
@@ -373,6 +372,7 @@ class TimeIterationSolver:
         self,
         initial_policy: PolicySet | None = None,
         error_sample: np.ndarray | None = None,
+        checkpoint=None,
     ) -> TimeIterationResult:
         """Iterate until the policy change drops below the tolerance.
 
@@ -385,12 +385,40 @@ class TimeIterationSolver:
             Optional fixed sample of states at which model-specific
             equilibrium errors are recorded every iteration (used by the
             Fig. 9 experiment).
+        checkpoint
+            Optional checkpoint hook (duck-typed so this module needs no
+            dependency on :mod:`repro.scenarios`; the concrete
+            implementation is
+            :class:`repro.scenarios.checkpoint.SolveCheckpoint`).  The
+            hook must provide ``load()`` returning ``None`` or an object
+            with ``policy``/``records``/``converged`` attributes,
+            ``on_iteration(policy, records, converged, config)`` called
+            after every completed iteration, and
+            ``on_complete(policy, records, converged, config)`` called
+            once at the end (``config`` is this solver's configuration, so
+            hooks persist the true provenance even when constructed
+            without one).  When ``load()`` yields a saved state the solve resumes
+            from it (``initial_policy`` is ignored) and — because every
+            iteration is a deterministic function of the previous policy —
+            produces the same iterates as an uninterrupted run.
         """
         cfg = self.config
         policy = initial_policy if initial_policy is not None else self.initial_policy()
         records: list[IterationRecord] = []
         converged = False
-        for iteration in range(1, cfg.max_iterations + 1):
+        start_iteration = 0
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if state is not None:
+                policy = state.policy
+                records = list(state.records)
+                converged = bool(state.converged)
+                start_iteration = records[-1].iteration if records else 0
+                if converged:
+                    return TimeIterationResult(
+                        policy=policy, records=records, converged=True, config=cfg
+                    )
+        for iteration in range(start_iteration + 1, cfg.max_iterations + 1):
             clock = WallClock()
             t0 = time.perf_counter()
             new_policy = self.step(policy, clock)
@@ -423,7 +451,12 @@ class TimeIterationSolver:
                 )
             if metric_value < cfg.tolerance:
                 converged = True
+            if checkpoint is not None:
+                checkpoint.on_iteration(policy, records, converged, cfg)
+            if converged:
                 break
+        if checkpoint is not None:
+            checkpoint.on_complete(policy, records, converged, cfg)
         return TimeIterationResult(
             policy=policy, records=records, converged=converged, config=cfg
         )

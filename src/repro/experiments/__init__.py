@@ -16,6 +16,12 @@ module          paper artefact
 ``fig9``        Fig. 9    — time-iteration convergence (error vs. work)
 ``ablations``   design-choice ablations called out in DESIGN.md
 ==============  ==========================================================
+
+Every module also exposes a ``run_scenario(params)`` adapter returning a
+JSON-able payload, which is how the scenario engine
+(:mod:`repro.scenarios`) runs paper tables/figures through its batch
+runner and provenance store; ``table1``/``table2_fig6`` additionally ship
+``scenario_suite()`` presets (the CLI's ``table1``/``table2`` suites).
 """
 
 from repro.experiments.table1 import run_table1, format_table1

@@ -33,7 +33,31 @@ __all__ = [
     "run_scheduler_ablation",
     "ReorderingAblation",
     "run_reordering_ablation",
+    "run_scenario",
 ]
+
+
+def run_scenario(params: dict) -> dict:
+    """Scenario-engine adapter: run one named ablation, JSON-able payload.
+
+    ``params["which"]`` selects ``partition``, ``scheduler`` or
+    ``reordering``; the remaining params are forwarded to the
+    corresponding ``run_*_ablation`` function.
+    """
+    from dataclasses import asdict
+
+    params = dict(params)
+    which = params.pop("which", "partition")
+    runners = {
+        "partition": run_partition_ablation,
+        "scheduler": run_scheduler_ablation,
+        "reordering": run_reordering_ablation,
+    }
+    if which not in runners:
+        raise ValueError(f"unknown ablation {which!r}; expected one of {sorted(runners)}")
+    result = runners[which](**params)
+    payload = {k: (list(v) if isinstance(v, tuple) else v) for k, v in asdict(result).items()}
+    return {"which": which, **payload}
 
 
 # --------------------------------------------------------------------------- #

@@ -38,7 +38,22 @@ from repro.parallel.cluster import GRAND_TAVE_NODE, PIZ_DAINT_NODE
 from repro.parallel.gpu_sim import HybridNodeExecutor
 from repro.parallel.scheduler import WorkStealingScheduler
 
-__all__ = ["Fig7Variant", "Fig7Result", "run_fig7", "format_fig7", "PAPER_FIG7"]
+__all__ = ["Fig7Variant", "Fig7Result", "run_fig7", "format_fig7", "run_scenario", "PAPER_FIG7"]
+
+
+def run_scenario(params: dict) -> dict:
+    """Scenario-engine adapter: JSON-able Fig. 7 payload."""
+    from dataclasses import asdict
+
+    result = run_fig7(**dict(params))
+    return {
+        "num_generations": result.num_generations,
+        "num_states": result.num_states,
+        "grid_level": result.grid_level,
+        "total_points": result.total_points,
+        "variants": [asdict(v) for v in result.variants],
+        "formatted": format_fig7(result),
+    }
 
 #: Anchors reported in the paper (Sec. V-B / Fig. 7).
 PAPER_FIG7 = {

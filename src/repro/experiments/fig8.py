@@ -21,7 +21,29 @@ import numpy as np
 from repro.parallel.cluster import NodeSpec, PIZ_DAINT_NODE
 from repro.parallel.scaling import StrongScalingModel
 
-__all__ = ["Fig8Result", "run_fig8", "format_fig8", "PAPER_FIG8"]
+__all__ = ["Fig8Result", "run_fig8", "format_fig8", "run_scenario", "PAPER_FIG8"]
+
+
+def run_scenario(params: dict) -> dict:
+    """Scenario-engine adapter: JSON-able Fig. 8 payload."""
+    params = dict(params)
+    if "node_counts" in params:
+        params["node_counts"] = tuple(params["node_counts"])
+    if "levels" in params:
+        params["levels"] = tuple(params["levels"])
+    result = run_fig8(**params)
+    return {
+        "node_counts": [int(n) for n in result.node_counts],
+        "normalized_total": [float(v) for v in result.normalized_total],
+        "normalized_ideal": [float(v) for v in result.normalized_ideal],
+        "normalized_levels": {
+            str(level): [float(v) for v in series]
+            for level, series in result.normalized_levels.items()
+        },
+        "efficiency": [float(v) for v in result.efficiency],
+        "single_node_seconds": float(result.single_node_seconds),
+        "formatted": format_fig8(result),
+    }
 
 #: Anchors from the paper's Sec. V-C / Fig. 8.
 PAPER_FIG8 = {

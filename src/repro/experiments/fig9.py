@@ -29,7 +29,37 @@ from repro.core.time_iteration import TimeIterationConfig, TimeIterationSolver
 from repro.olg.calibration import small_calibration
 from repro.olg.model import OLGModel
 
-__all__ = ["Fig9Result", "run_fig9", "format_fig9", "PAPER_FIG9"]
+__all__ = ["Fig9Result", "run_fig9", "format_fig9", "run_scenario", "PAPER_FIG9"]
+
+
+def run_scenario(params: dict) -> dict:
+    """Scenario-engine adapter: JSON-able Fig. 9 payload.
+
+    Defaults are scaled down further than :func:`run_fig9`'s so a suite
+    run finishes quickly; override via the spec's ``params``.
+    """
+    params = {
+        "num_generations": 4,
+        "num_states": 2,
+        "max_iterations_per_stage": 6,
+        "refinement_epsilons": (8e-2,),
+        "num_error_samples": 10,
+        **dict(params),
+    }
+    params["refinement_epsilons"] = tuple(params["refinement_epsilons"])
+    result = run_fig9(**params)
+    return {
+        "iterations": [int(i) for i in result.iterations],
+        "stages": [int(s) for s in result.stages],
+        "error_linf": [float(v) for v in result.error_linf],
+        "error_l2": [float(v) for v in result.error_l2],
+        "policy_change": [float(v) for v in result.policy_change],
+        "cumulative_time": [float(v) for v in result.cumulative_time],
+        "points_per_state": [[int(p) for p in row] for row in result.points_per_state],
+        "stage_epsilons": [float(e) for e in result.stage_epsilons],
+        "converged_stages": [bool(c) for c in result.converged_stages],
+        "formatted": format_fig9(result),
+    }
 
 #: Qualitative anchors from the paper's Sec. V-D.
 PAPER_FIG9 = {

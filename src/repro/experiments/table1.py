@@ -17,12 +17,19 @@ Sec. IV-B (zero fraction, nfreq, index compression ratio).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.core.compression import compress_grid, compression_stats
 from repro.grids.regular import regular_grid_size, regular_sparse_grid
 
-__all__ = ["Table1Row", "run_table1", "format_table1", "PAPER_TABLE1"]
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "run_scenario",
+    "scenario_suite",
+    "PAPER_TABLE1",
+]
 
 #: The values printed in the paper, for side-by-side comparison.
 PAPER_TABLE1 = {
@@ -103,6 +110,42 @@ def _short_name(num_points: int) -> str:
     if num_points >= 1000:
         return f"{num_points / 1000:.0f}k"
     return str(num_points)
+
+
+def run_scenario(params: dict) -> dict:
+    """Scenario-engine adapter: JSON-able Table I payload.
+
+    Consumed by :mod:`repro.scenarios.runner`, which stores the payload
+    with full provenance; ``params`` are :func:`run_table1` keyword
+    arguments (``levels`` may arrive as a JSON list).
+    """
+    params = dict(params)
+    if "levels" in params:
+        params["levels"] = tuple(params["levels"])
+    rows = run_table1(**params)
+    return {"rows": [asdict(r) for r in rows], "formatted": format_table1(rows)}
+
+
+def scenario_suite():
+    """Table I as a thin predefined suite over the scenario runner.
+
+    Scaled down (``dim=12``) so it completes in seconds; pass the paper's
+    ``dim=59`` through a custom :class:`~repro.scenarios.spec.ScenarioSpec`
+    for the full configuration.
+    """
+    from repro.scenarios.spec import ScenarioSpec, ScenarioSuite
+
+    return ScenarioSuite(
+        "table1",
+        [
+            ScenarioSpec(
+                name="table1-compression",
+                kind="table1",
+                params={"dim": 12, "levels": [2, 3], "num_states": 4},
+                tags=("paper-table",),
+            )
+        ],
+    )
 
 
 def format_table1(rows: list[Table1Row]) -> str:

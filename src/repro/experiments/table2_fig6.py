@@ -24,7 +24,15 @@ from repro.core.kernels import evaluate, list_kernels
 from repro.grids.regular import regular_sparse_grid
 from repro.utils.rng import default_rng
 
-__all__ = ["KernelTiming", "KernelExperiment", "run_table2", "format_table2", "PAPER_TABLE2"]
+__all__ = [
+    "KernelTiming",
+    "KernelExperiment",
+    "run_table2",
+    "format_table2",
+    "run_scenario",
+    "scenario_suite",
+    "PAPER_TABLE2",
+]
 
 #: Kernel times (seconds) reported in the paper's Table II.
 PAPER_TABLE2 = {
@@ -140,6 +148,38 @@ def run_table2(
             )
         )
     return experiments
+
+
+def run_scenario(params: dict) -> dict:
+    """Scenario-engine adapter: JSON-able Table II / Fig. 6 payload."""
+    from dataclasses import asdict
+
+    params = dict(params)
+    for key in ("levels", "kernels"):
+        if params.get(key) is not None:
+            params[key] = tuple(params[key])
+    experiments = run_table2(**params)
+    return {
+        "experiments": [asdict(e) for e in experiments],
+        "formatted": format_table2(experiments),
+    }
+
+
+def scenario_suite():
+    """Table II / Fig. 6 as a thin predefined suite over the scenario runner."""
+    from repro.scenarios.spec import ScenarioSpec, ScenarioSuite
+
+    return ScenarioSuite(
+        "table2",
+        [
+            ScenarioSpec(
+                name="table2-kernels",
+                kind="table2",
+                params={"dim": 10, "levels": [3], "num_dofs": 12, "num_queries": 50},
+                tags=("paper-table",),
+            )
+        ],
+    )
 
 
 def _case_name(num_points: int) -> str:

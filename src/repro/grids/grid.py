@@ -203,6 +203,32 @@ class SparseGrid:
         return SparseGrid(self.dim, self.levels.copy(), self.indices.copy())
 
     # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Plain-array state of the grid (for npz round-trips).
+
+        Only the defining ``levels``/``indices`` arrays are exported; the
+        derived caches (points, level sums, ancestor structure, compressed
+        representation) are deliberately dropped and rebuilt on demand
+        after :meth:`from_arrays`.
+        """
+        return {"levels": self.levels.copy(), "indices": self.indices.copy()}
+
+    @classmethod
+    def from_arrays(cls, levels: np.ndarray, indices: np.ndarray) -> "SparseGrid":
+        """Rebuild a grid from :meth:`to_arrays` output (row order preserved).
+
+        Both arrays are coerced symmetrically (a single 1-D pair is read
+        as one point, like :meth:`add_points`).  The reconstructed grid
+        starts a fresh cache epoch (``version`` 0, no derived caches),
+        exactly like a newly built grid.
+        """
+        levels = np.atleast_2d(np.asarray(levels, dtype=np.int32))
+        indices = np.atleast_2d(np.asarray(indices, dtype=np.int32))
+        return cls(levels.shape[1], levels, indices)
+
+    # ------------------------------------------------------------------ #
     # evaluation helpers
     # ------------------------------------------------------------------ #
     def basis_at(self, x: np.ndarray) -> np.ndarray:

@@ -10,7 +10,17 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
-__all__ = ["SerialExecutor", "ThreadPoolMapExecutor", "ProcessPoolMapExecutor", "make_executor"]
+__all__ = [
+    "EXECUTOR_KINDS",
+    "SerialExecutor",
+    "ThreadPoolMapExecutor",
+    "ProcessPoolMapExecutor",
+    "make_executor",
+]
+
+#: Executor kinds accepted by :func:`make_executor` (also the choices the
+#: scenario runner and its CLI expose for scenario-level dispatch).
+EXECUTOR_KINDS = ("serial", "threads", "processes", "stealing")
 
 
 class SerialExecutor:
@@ -74,4 +84,4 @@ def make_executor(kind: str = "serial", num_workers: int = 4):
         from repro.parallel.scheduler import WorkStealingScheduler
 
         return WorkStealingScheduler(num_workers)
-    raise ValueError(f"unknown executor kind {kind!r}")
+    raise ValueError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")

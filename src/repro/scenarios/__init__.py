@@ -1,0 +1,110 @@
+"""Scenario engine: declarative suites, checkpoint/resume, provenance store.
+
+The source paper's point is running *batches* of long, expensive
+time-iteration solves on HPC hardware.  This subsystem turns the repo's
+hand-wired single solves into managed scenario runs:
+
+* :mod:`repro.scenarios.spec` — declarative :class:`ScenarioSpec` (with
+  stable content hashing) and :class:`ScenarioSuite` sweep builders plus
+  named presets (tax reforms, demographic shifts, shock-process variants,
+  paper-table experiments);
+* :mod:`repro.scenarios.serialize` — bit-exact npz round trips for
+  :class:`~repro.grids.grid.SparseGrid`,
+  :class:`~repro.core.policy.PolicySet` and
+  :class:`~repro.core.time_iteration.TimeIterationResult`;
+* :mod:`repro.scenarios.checkpoint` — periodic solve checkpoints; a killed
+  solve resumes from the last completed iteration bit-for-bit;
+* :mod:`repro.scenarios.runner` — batch dispatch across the
+  :mod:`repro.parallel` executors, skipping scenarios whose spec hash is
+  already stored;
+* :mod:`repro.scenarios.store` — on-disk results with a provenance
+  manifest (spec hash, wall time, iteration records, library version).
+
+Usage
+-----
+Run a preset sweep from the command line (also installed as the
+``repro-scenarios`` console script)::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run tax-reform --store runs/ --dry-run
+    python -m repro.scenarios run tax-reform --store runs/ --executor processes --workers 4
+    python -m repro.scenarios show --store runs/
+
+Re-running the same command skips everything already in ``runs/`` (content
+hashing), so a crashed batch is simply restarted; an interrupted solve
+resumes from its checkpoint.
+
+Programmatic use::
+
+    from repro.scenarios import (
+        ScenarioSpec, ScenarioSuite, ResultsStore, run_suite,
+    )
+
+    base = ScenarioSpec(
+        name="reform",
+        calibration={"num_generations": 6, "tau_labor": 0.15},
+        solver={"grid_level": 2, "tolerance": 1e-3},
+    )
+    suite = ScenarioSuite.cartesian(
+        "reform-sweep", base, {"calibration.tau_labor": [0.10, 0.20, 0.30]}
+    )
+    store = ResultsStore("runs")
+    report = run_suite(suite, store, executor="threads", num_workers=3)
+    result = store.load_result(suite[0])   # a TimeIterationResult
+
+Checkpointing a standalone solve::
+
+    from repro.scenarios import SolveCheckpoint
+
+    ckpt = SolveCheckpoint("run.ckpt.npz", every=1, config=config)
+    result = TimeIterationSolver(model, config).solve(checkpoint=ckpt)
+    # kill the process at any point; the same call resumes bit-for-bit
+
+See ``examples/scenario_sweep.py`` for an end-to-end walk-through.
+"""
+
+from repro.scenarios.checkpoint import (
+    CheckpointState,
+    InterruptingCheckpoint,
+    SimulatedKill,
+    SolveCheckpoint,
+)
+from repro.scenarios.runner import RunOutcome, SuiteReport, run_suite
+from repro.scenarios.serialize import (
+    load_grid,
+    load_policy_set,
+    load_result,
+    save_grid,
+    save_policy_set,
+    save_result,
+)
+from repro.scenarios.spec import (
+    EXPERIMENT_KINDS,
+    ScenarioSpec,
+    ScenarioSuite,
+    get_preset,
+    preset_names,
+)
+from repro.scenarios.store import ResultsStore
+
+__all__ = [
+    "EXPERIMENT_KINDS",
+    "ScenarioSpec",
+    "ScenarioSuite",
+    "get_preset",
+    "preset_names",
+    "save_grid",
+    "load_grid",
+    "save_policy_set",
+    "load_policy_set",
+    "save_result",
+    "load_result",
+    "CheckpointState",
+    "SolveCheckpoint",
+    "InterruptingCheckpoint",
+    "SimulatedKill",
+    "ResultsStore",
+    "RunOutcome",
+    "SuiteReport",
+    "run_suite",
+]

@@ -1,0 +1,120 @@
+"""Command-line interface of the scenario engine.
+
+Installed as the ``repro-scenarios`` console script and runnable as
+``python -m repro.scenarios``.  Three subcommands:
+
+* ``list`` — show the named preset suites and their sizes;
+* ``run``  — expand a preset and run it against a results store
+  (``--dry-run`` prints the expansion without solving anything);
+* ``show`` — print a store's provenance manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.parallel.executor import EXECUTOR_KINDS
+from repro.scenarios.runner import run_suite
+from repro.scenarios.spec import get_preset, preset_names
+from repro.scenarios.store import ResultsStore
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scenarios",
+        description="Run scenario suites with checkpoint/resume and a provenance-tracked store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the named preset suites")
+
+    run = sub.add_parser("run", help="run a preset suite")
+    run.add_argument("suite", help=f"preset name (one of: {', '.join(preset_names())})")
+    run.add_argument("--store", default="scenario_store", help="results store directory")
+    run.add_argument(
+        "--executor",
+        default="serial",
+        choices=EXECUTOR_KINDS,
+        help="scenario-level dispatch backend",
+    )
+    run.add_argument("--workers", type=int, default=2, help="scenario-level worker count")
+    run.add_argument(
+        "--point-executor",
+        default="serial",
+        choices=EXECUTOR_KINDS,
+        help="executor for per-grid-point solves inside each scenario",
+    )
+    run.add_argument("--point-workers", type=int, default=2)
+    run.add_argument(
+        "--checkpoint-every", type=int, default=1, help="checkpoint every N iterations"
+    )
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded suite (names, kinds, hashes) without solving",
+    )
+    run.add_argument(
+        "--force", action="store_true", help="re-run scenarios already in the store"
+    )
+    run.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="testing hook: kill each solve after N iterations (checkpoint survives; "
+        "re-running the same command resumes)",
+    )
+
+    show = sub.add_parser("show", help="print a store's provenance manifest")
+    show.add_argument("--store", default="scenario_store")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in preset_names():
+            suite = get_preset(name)
+            kinds = sorted({s.kind for s in suite})
+            print(f"{name:<16} {len(suite):>3} scenario(s)  kinds: {', '.join(kinds)}")
+        return 0
+
+    if args.command == "show":
+        print(ResultsStore(args.store).describe())
+        return 0
+
+    # run
+    try:
+        suite = get_preset(args.suite)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.dry_run:
+        print(suite.describe())
+        return 0
+    store = ResultsStore(args.store)
+    report = run_suite(
+        suite,
+        store,
+        executor=args.executor,
+        num_workers=args.workers,
+        point_executor=args.point_executor,
+        point_workers=args.point_workers,
+        checkpoint_every=args.checkpoint_every,
+        force=args.force,
+        interrupt_after=args.interrupt_after,
+        progress=print,
+    )
+    print(report.summary())
+    if not report.ok:
+        # interrupted scenarios resume on the next identical invocation
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Batch runner dispatching scenario suites across executors.
+
+``run_suite`` expands a :class:`~repro.scenarios.spec.ScenarioSuite`,
+skips every scenario whose content hash already has a completed result in
+the :class:`~repro.scenarios.store.ResultsStore`, and dispatches the rest
+through the map-style executors of :mod:`repro.parallel.executor`
+(``serial``/``threads``/``processes``/``stealing``).  Scenario tasks are
+plain dictionaries and the worker entry point is a module-level function,
+so the process-pool backend works out of the box.
+
+Workers write result files into their scenario's store directory; manifest
+entries are committed by the parent afterwards, sequentially, so
+concurrent workers never race on the manifest.  Solve scenarios checkpoint
+through :class:`~repro.scenarios.checkpoint.SolveCheckpoint` into the
+store, which makes every scenario of a batch individually resumable: re-run
+the same suite after a crash and completed scenarios are skipped by hash
+while the interrupted one resumes from its last checkpoint.
+
+Experiment scenarios (kinds in
+:data:`repro.scenarios.spec.EXPERIMENT_KINDS`) run through thin
+``run_scenario`` adapters in :mod:`repro.experiments`, storing their
+JSON payloads with the same provenance manifest.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.parallel.executor import EXECUTOR_KINDS, make_executor
+from repro.scenarios.checkpoint import InterruptingCheckpoint, SimulatedKill, SolveCheckpoint
+from repro.scenarios.spec import ScenarioSpec, ScenarioSuite
+from repro.scenarios.store import ResultsStore
+from repro.utils.logging import get_logger
+
+__all__ = ["RunOutcome", "SuiteReport", "run_suite", "EXPERIMENT_ADAPTERS"]
+
+logger = get_logger("scenarios.runner")
+
+#: kind -> "module:function" of the experiment adapters (resolved lazily so
+#: importing the scenarios package stays cheap and cycle-free).
+EXPERIMENT_ADAPTERS = {
+    "table1": "repro.experiments.table1:run_scenario",
+    "table2": "repro.experiments.table2_fig6:run_scenario",
+    "fig7": "repro.experiments.fig7:run_scenario",
+    "fig8": "repro.experiments.fig8:run_scenario",
+    "fig9": "repro.experiments.fig9:run_scenario",
+    "ablations": "repro.experiments.ablations:run_scenario",
+}
+
+
+def _resolve_adapter(kind: str):
+    target = EXPERIMENT_ADAPTERS[kind]
+    module_name, func_name = target.split(":")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one scenario of a batch."""
+
+    spec: ScenarioSpec
+    status: str  # "completed" | "skipped" | "interrupted" | "failed"
+    wall_time: float = 0.0
+    entry: dict | None = None
+    error: str | None = None
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate outcome of one ``run_suite`` call."""
+
+    suite_name: str
+    outcomes: list = field(default_factory=list)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.status in ("completed", "skipped") for o in self.outcomes)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.count(status)} {status}"
+            for status in ("completed", "skipped", "interrupted", "failed")
+            if self.count(status)
+        ]
+        return f"suite {self.suite_name!r}: " + (", ".join(parts) if parts else "nothing to do")
+
+
+def _execute_task(task: dict) -> dict:
+    """Run one scenario; top-level so the process executor can pickle it.
+
+    Returns the manifest entry (status ``completed``/``interrupted``/
+    ``failed``); the parent commits it.
+    """
+    spec = ScenarioSpec.from_dict(task["spec"])
+    store = ResultsStore(task["store_root"])
+    t0 = time.perf_counter()
+    try:
+        if spec.kind == "solve":
+            return _execute_solve(spec, store, task, t0)
+        adapter = _resolve_adapter(spec.kind)
+        payload = {"params": dict(spec.params), "result": adapter(dict(spec.params))}
+        return store.write_payload(spec, payload, time.perf_counter() - t0)
+    except SimulatedKill as exc:
+        # the --interrupt-after testing hook only; a genuine KeyboardInterrupt
+        # (user Ctrl-C) propagates and stops the whole batch — the on-disk
+        # checkpoints make the next identical invocation resume
+        return store.failure_entry(spec, "interrupted", time.perf_counter() - t0, str(exc))
+    except Exception as exc:  # noqa: BLE001 - one bad scenario must not kill the batch
+        logger.warning("scenario %s failed: %s", spec.name, exc)
+        return store.failure_entry(
+            spec,
+            "failed",
+            time.perf_counter() - t0,
+            "".join(traceback.format_exception_only(type(exc), exc)).strip(),
+        )
+
+
+def _execute_solve(spec: ScenarioSpec, store: ResultsStore, task: dict, t0: float) -> dict:
+    config = spec.build_config()
+    model = spec.build_model()
+    point_executor = None
+    if task.get("point_executor", "serial") != "serial":
+        point_executor = make_executor(
+            task["point_executor"], task.get("point_workers", 1)
+        )
+    from repro.core.time_iteration import TimeIterationSolver
+
+    solver = TimeIterationSolver(model, config, executor=point_executor)
+    ckpt_path = store.checkpoint_path(spec)
+    ckpt_path.parent.mkdir(parents=True, exist_ok=True)
+    interrupt_after = task.get("interrupt_after")
+    if interrupt_after:
+        checkpoint = InterruptingCheckpoint(
+            ckpt_path,
+            every=task.get("checkpoint_every", 1),
+            config=config,
+            interrupt_after=int(interrupt_after),
+        )
+    else:
+        checkpoint = SolveCheckpoint(
+            ckpt_path, every=task.get("checkpoint_every", 1), config=config
+        )
+    resumed = checkpoint.exists()
+    result = solver.solve(checkpoint=checkpoint)
+    entry = store.write_result(
+        spec, result, time.perf_counter() - t0, resumed=resumed
+    )
+    # NOTE: the checkpoint is deliberately *not* deleted here.  Manifest
+    # entries are committed by the parent after the batch barrier; if the
+    # parent dies first, store.has() is still False and the scenario will
+    # be re-dispatched — the surviving (converged) checkpoint then makes
+    # that re-run return instantly instead of solving from iteration 1.
+    # The parent deletes the checkpoint right after committing the entry.
+    return entry
+
+
+def run_suite(
+    suite: ScenarioSuite,
+    store: ResultsStore,
+    executor: str = "serial",
+    num_workers: int = 2,
+    point_executor: str = "serial",
+    point_workers: int = 1,
+    checkpoint_every: int = 1,
+    force: bool = False,
+    interrupt_after: int | None = None,
+    progress=None,
+) -> SuiteReport:
+    """Run every scenario of ``suite`` whose hash is not in ``store`` yet.
+
+    Parameters
+    ----------
+    suite, store
+        The expanded suite and the results store to fill.
+    executor, num_workers
+        Scenario-level dispatch backend (one of
+        :data:`repro.parallel.executor.EXECUTOR_KINDS`) and its worker
+        count.  ``processes`` gives real parallelism across scenarios;
+        specs and tasks are plain data, so they pickle.
+    point_executor, point_workers
+        Executor used *inside* each solve for the per-grid-point systems
+        (keep ``serial`` when the scenario level is already parallel).
+    checkpoint_every
+        Persist a solve checkpoint every N iterations.
+    force
+        Re-run scenarios even when the store already has their hash.
+    interrupt_after
+        Testing/demo hook: kill each solve after N iterations (after
+        checkpointing), as ``--interrupt-after`` in the CLI.
+    progress
+        Optional ``callable(str)`` receiving one line per scenario.
+    """
+    if executor not in EXECUTOR_KINDS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}")
+    say = progress if progress is not None else (lambda line: None)
+    report = SuiteReport(suite.name)
+    pending = []
+    pending_hashes: set = set()
+    deferred = []
+    # one manifest snapshot for the whole scan (not one read per spec)
+    known = store.load_manifest()["entries"]
+    for spec in suite:
+        spec_hash = spec.content_hash()
+        entry = known.get(spec_hash)
+        if not force and store.entry_is_complete(entry):
+            say(f"skip  {spec.name} [{spec.short_hash}] (already in store)")
+            report.outcomes.append(
+                RunOutcome(spec, "skipped", wall_time=0.0, entry=entry)
+            )
+        elif spec_hash in pending_hashes:
+            # identical content already queued this batch: running it twice
+            # would race two workers on one scenario directory
+            say(f"skip  {spec.name} [{spec.short_hash}] (duplicate of a queued scenario)")
+            deferred.append(spec)
+        else:
+            pending.append(spec)
+            pending_hashes.add(spec_hash)
+    tasks = [
+        {
+            "spec": spec.to_dict(),
+            "store_root": str(store.root),
+            "checkpoint_every": int(checkpoint_every),
+            "point_executor": point_executor,
+            "point_workers": int(point_workers),
+            "interrupt_after": interrupt_after,
+        }
+        for spec in pending
+    ]
+    mapper = make_executor(executor, num_workers)
+    entries = mapper.map(_execute_task, tasks) if tasks else []
+    # single batched manifest commit for the whole barrier
+    committed = store.commit_entries(entries)
+    for spec, entry in zip(pending, entries):
+        status = entry["status"]
+        if status == "completed" and spec.kind == "solve":
+            # safe to drop only now that the manifest points at the result
+            ckpt = store.checkpoint_path(spec)
+            if ckpt.exists():
+                ckpt.unlink()
+        say(f"{status:<5} {spec.name} [{spec.short_hash}] ({entry['wall_time']:.2f}s)")
+        report.outcomes.append(
+            RunOutcome(
+                spec,
+                status,
+                wall_time=float(entry.get("wall_time", 0.0)),
+                entry=entry,
+                error=entry.get("error"),
+            )
+        )
+    for spec in deferred:
+        # resolved by the queued twin (results are keyed by content hash):
+        # report "skipped" only if the twin actually produced a result,
+        # otherwise mirror its failure so report.ok does not lie
+        entry = committed.get(spec.content_hash())
+        twin_status = entry.get("status") if entry else "failed"
+        status = "skipped" if twin_status == "completed" else twin_status
+        report.outcomes.append(
+            RunOutcome(
+                spec,
+                status,
+                wall_time=0.0,
+                entry=entry,
+                error=entry.get("error") if entry else "duplicate of a scenario that never ran",
+            )
+        )
+    return report

@@ -1,0 +1,273 @@
+"""On-disk, provenance-tracked results store.
+
+Layout::
+
+    <root>/
+      manifest.json               # index: spec hash -> manifest entry
+      <hash16>/                   # one directory per scenario content hash
+        spec.json                 # the full ScenarioSpec that produced it
+        result.npz                # solve scenarios: serialized TimeIterationResult
+        payload.json              # experiment scenarios: JSON result payload
+        checkpoint.npz            # transient; deleted once the result lands
+
+Every manifest entry records *provenance*: the spec content hash, wall
+time, iteration summary, library/numpy/python versions, hostname and a
+creation timestamp — enough to answer "where did this number come from and
+under which code was it produced".  The manifest is rewritten atomically
+(temp file + ``os.replace``); result/payload files are written before the
+manifest entry is committed, so a completed entry always points at a
+readable file.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.time_iteration import TimeIterationResult
+from repro.scenarios import serialize
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ResultsStore"]
+
+_MANIFEST_VERSION = 1
+_DIR_HASH_CHARS = 16
+
+
+def _atomic_json(path: Path, data) -> None:
+    """Write JSON atomically (shared unique-temp-name + replace machinery)."""
+
+    def write(fh):
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    serialize.atomic_write(path, write, text=True)
+
+
+def _provenance() -> dict:
+    import repro
+
+    return {
+        "library_version": repro.__version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "hostname": platform.node(),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "created_at_unix": time.time(),
+    }
+
+
+class ResultsStore:
+    """Directory-backed scenario results with a JSON manifest."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _hash_of(spec_or_hash) -> str:
+        if isinstance(spec_or_hash, ScenarioSpec):
+            return spec_or_hash.content_hash()
+        return str(spec_or_hash)
+
+    def scenario_dir(self, spec_or_hash) -> Path:
+        return self.root / self._hash_of(spec_or_hash)[:_DIR_HASH_CHARS]
+
+    def result_path(self, spec_or_hash) -> Path:
+        return self.scenario_dir(spec_or_hash) / "result.npz"
+
+    def payload_path(self, spec_or_hash) -> Path:
+        return self.scenario_dir(spec_or_hash) / "payload.json"
+
+    def checkpoint_path(self, spec_or_hash) -> Path:
+        return self.scenario_dir(spec_or_hash) / "checkpoint.npz"
+
+    def spec_path(self, spec_or_hash) -> Path:
+        return self.scenario_dir(spec_or_hash) / "spec.json"
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    def load_manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            return {"version": _MANIFEST_VERSION, "entries": {}}
+        with open(self.manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ValueError(f"unsupported manifest version in {self.manifest_path}")
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        _atomic_json(self.manifest_path, manifest)
+
+    def commit_entries(self, entries: list) -> dict:
+        """Insert/replace many manifest entries with ONE read + ONE write.
+
+        The batch runner commits a whole barrier's worth of entries at
+        once; per-entry read-modify-write cycles would make an n-scenario
+        batch O(n^2) in manifest I/O.  Returns the manifest's entries
+        mapping (spec hash -> entry) after the commit.
+        """
+        manifest = self.load_manifest()
+        for entry in entries:
+            if "spec_hash" not in entry:
+                raise ValueError("manifest entry needs a spec_hash")
+            manifest["entries"][entry["spec_hash"]] = entry
+        if entries:
+            self._write_manifest(manifest)
+        return manifest["entries"]
+
+    def commit_entry(self, entry: dict) -> dict:
+        """Insert/replace one manifest entry (keyed by its ``spec_hash``)."""
+        self.commit_entries([entry])
+        return entry
+
+    def entries(self) -> list:
+        """All manifest entries, oldest first."""
+        entries = list(self.load_manifest()["entries"].values())
+        entries.sort(key=lambda e: e.get("created_at_unix", 0.0))
+        return entries
+
+    def entry(self, spec_or_hash) -> dict | None:
+        return self.load_manifest()["entries"].get(self._hash_of(spec_or_hash))
+
+    def entry_is_complete(self, entry: dict | None) -> bool:
+        """Whether a manifest entry denotes a completed, readable result.
+
+        Takes the entry (possibly from a caller-held manifest snapshot, so
+        batch scans need not re-read the manifest per spec) and verifies
+        the result/payload file it points at actually exists.
+        """
+        if entry is None or entry.get("status") != "completed":
+            return False
+        kind = entry.get("kind", "solve")
+        target = (
+            self.result_path(entry["spec_hash"])
+            if kind == "solve"
+            else self.payload_path(entry["spec_hash"])
+        )
+        return target.exists()
+
+    def has(self, spec_or_hash) -> bool:
+        """Whether a *completed* result for this spec hash is on disk."""
+        return self.entry_is_complete(self.entry(spec_or_hash))
+
+    # ------------------------------------------------------------------ #
+    # writing results
+    # ------------------------------------------------------------------ #
+    def save_spec(self, spec: ScenarioSpec) -> None:
+        _atomic_json(self.spec_path(spec), {"spec_hash": spec.content_hash(), **spec.to_dict()})
+
+    def _base_entry(self, spec: ScenarioSpec, status: str, wall_time: float) -> dict:
+        return {
+            "spec_hash": spec.content_hash(),
+            "name": spec.name,
+            "kind": spec.kind,
+            "tags": list(spec.tags),
+            "status": status,
+            "wall_time": float(wall_time),
+            "directory": self.scenario_dir(spec).name,
+            **_provenance(),
+        }
+
+    def write_result(
+        self,
+        spec: ScenarioSpec,
+        result: TimeIterationResult,
+        wall_time: float,
+        resumed: bool = False,
+    ) -> dict:
+        """Persist a solve result + spec and build its manifest entry.
+
+        The entry is *returned, not committed* — callers (the runner's
+        parent process) commit entries sequentially so concurrent workers
+        never race on the manifest.
+        """
+        self.save_spec(spec)
+        serialize.save_result(
+            self.result_path(spec), result, extra_meta={"spec_hash": spec.content_hash()}
+        )
+        entry = self._base_entry(spec, "completed", wall_time)
+        entry.update(
+            {
+                "resumed": bool(resumed),
+                "converged": bool(result.converged),
+                "iterations": int(result.iterations),
+                "final_error": float(result.final_error),
+                "points_per_state": [int(p) for p in result.policy.points_per_state],
+                "iteration_records": [
+                    {
+                        "iteration": r.iteration,
+                        "policy_change_linf": r.policy_change_linf,
+                        "wall_time": r.wall_time,
+                        "total_points": r.total_points,
+                    }
+                    for r in result.records
+                ],
+            }
+        )
+        return entry
+
+    def write_payload(self, spec: ScenarioSpec, payload: dict, wall_time: float) -> dict:
+        """Persist an experiment-scenario JSON payload; returns the entry."""
+        self.save_spec(spec)
+        _atomic_json(self.payload_path(spec), payload)
+        return self._base_entry(spec, "completed", wall_time)
+
+    def failure_entry(self, spec: ScenarioSpec, status: str, wall_time: float, error: str) -> dict:
+        """Manifest entry for a failed/interrupted scenario (files untouched)."""
+        entry = self._base_entry(spec, status, wall_time)
+        entry["error"] = error
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # reading results
+    # ------------------------------------------------------------------ #
+    def load_result(self, spec_or_hash) -> TimeIterationResult:
+        return serialize.load_result(self.result_path(spec_or_hash))
+
+    def load_payload(self, spec_or_hash) -> dict:
+        with open(self.payload_path(spec_or_hash), "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def load_spec(self, spec_or_hash) -> ScenarioSpec:
+        with open(self.spec_path(spec_or_hash), "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        data.pop("spec_hash", None)
+        return ScenarioSpec.from_dict(data)
+
+    def describe(self) -> str:
+        """Human-readable manifest summary (the CLI ``show`` command)."""
+        entries = self.entries()
+        if not entries:
+            return f"store {self.root}: empty"
+        lines = [f"store {self.root}: {len(entries)} entry(ies)"]
+        header = (
+            f"  {'name':<32} {'kind':<9} {'hash':<12} {'status':<11} "
+            f"{'iters':>5} {'conv':>5} {'wall [s]':>9}  version"
+        )
+        lines += [header, "  " + "-" * (len(header) - 2)]
+        for e in entries:
+            iters = e.get("iterations", "-")
+            conv = {True: "yes", False: "no"}.get(e.get("converged"), "-")
+            lines.append(
+                f"  {e['name']:<32} {e.get('kind', 'solve'):<9} "
+                f"{e['spec_hash'][:12]:<12} {e['status']:<11} "
+                f"{iters!s:>5} {conv:>5} {e.get('wall_time', float('nan')):>9.2f}  "
+                f"{e.get('library_version', '?')}"
+            )
+        return "\n".join(lines)

@@ -131,6 +131,22 @@ class TestCompressedGridCache:
         surplus.flags.writeable = False
         assert comp.reorder_cached(surplus) is comp.reorder_cached(surplus)
 
+    def test_reorder_cache_drops_dead_entries_on_insert(self):
+        grid = regular_sparse_grid(3, 3)
+        comp = compress_grid(grid)
+        rng = np.random.default_rng(5)
+        dead = rng.standard_normal((len(grid), 2))
+        dead.flags.writeable = False
+        comp.reorder_cached(dead)
+        assert len(comp._reorder_cache) == 1
+        del dead  # key array dies; the next insert must purge the entry
+        live = rng.standard_normal((len(grid), 2))
+        live.flags.writeable = False
+        comp.reorder_cached(live)
+        assert len(comp._reorder_cache) == 1
+        (ref, _out), = comp._reorder_cache.values()
+        assert ref() is live
+
     def test_interpolant_owns_frozen_surplus_copy(self):
         grid = regular_sparse_grid(2, 3)
         s = hierarchize(grid, _func(grid.points))

@@ -1,0 +1,175 @@
+"""Checkpoint/resume: a killed solve must reproduce the uninterrupted run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.time_iteration import TimeIterationConfig, TimeIterationSolver
+from repro.olg.calibration import small_calibration
+from repro.olg.model import OLGModel
+from repro.scenarios.checkpoint import (
+    InterruptingCheckpoint,
+    SimulatedKill,
+    SolveCheckpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_problem():
+    cal = small_calibration(num_generations=4, num_states=2, beta=0.8)
+    model = OLGModel(cal)
+    config = TimeIterationConfig(grid_level=2, tolerance=2e-3, max_iterations=20)
+    reference = TimeIterationSolver(model, config).solve()
+    assert reference.converged and reference.iterations >= 4
+    return model, config, reference
+
+
+def _policy_distance(result, reference, model):
+    X = model.domain.sample(30, rng=7)
+    return max(
+        float(np.max(np.abs(result.policy.evaluate(z, X) - reference.policy.evaluate(z, X))))
+        for z in range(model.num_states)
+    )
+
+
+class TestKillResumeEquivalence:
+    @pytest.mark.parametrize("kill_after", [1, 3])
+    def test_resumed_run_matches_uninterrupted(self, tmp_path, checkpoint_problem, kill_after):
+        model, config, reference = checkpoint_problem
+        path = tmp_path / f"kill{kill_after}.npz"
+        killer = InterruptingCheckpoint(path, config=config, interrupt_after=kill_after)
+        with pytest.raises(SimulatedKill):
+            TimeIterationSolver(model, config).solve(checkpoint=killer)
+        assert path.exists()
+
+        resumed = TimeIterationSolver(model, config).solve(
+            checkpoint=SolveCheckpoint(path, config=config)
+        )
+        # same total iteration count (resume continues, not restarts) ...
+        assert resumed.iterations == reference.iterations
+        assert resumed.converged == reference.converged
+        # ... identical policy-change series and policies (acceptance: 1e-12)
+        assert np.array_equal(resumed.error_history(), reference.error_history())
+        assert np.array_equal(
+            resumed.error_history("rel_linf"), reference.error_history("rel_linf")
+        )
+        assert _policy_distance(resumed, reference, model) <= 1e-12
+
+    def test_resume_of_finished_solve_is_a_no_op(self, tmp_path, checkpoint_problem):
+        model, config, reference = checkpoint_problem
+        path = tmp_path / "done.npz"
+        ckpt = SolveCheckpoint(path, config=config)
+        first = TimeIterationSolver(model, config).solve(checkpoint=ckpt)
+        again = TimeIterationSolver(model, config).solve(
+            checkpoint=SolveCheckpoint(path, config=config)
+        )
+        assert again.converged and again.iterations == first.iterations
+        assert _policy_distance(again, first, model) == 0.0
+
+    def test_periodic_checkpoint_still_resumes_exactly(self, tmp_path, checkpoint_problem):
+        model, config, reference = checkpoint_problem
+        path = tmp_path / "every2.npz"
+        # checkpoint every 2nd iteration, kill after the 3rd: the file holds
+        # iteration 2, so the resume recomputes iterations 3..end
+        killer = InterruptingCheckpoint(path, every=2, config=config, interrupt_after=3)
+        with pytest.raises(SimulatedKill):
+            TimeIterationSolver(model, config).solve(checkpoint=killer)
+        from repro.scenarios import serialize
+
+        saved = serialize.load_result(path)
+        assert saved.iterations == 2  # last *persisted* iteration
+        resumed = TimeIterationSolver(model, config).solve(
+            checkpoint=SolveCheckpoint(path, config=config)
+        )
+        assert resumed.iterations == reference.iterations
+        assert _policy_distance(resumed, reference, model) <= 1e-12
+
+    def test_config_mismatch_is_refused(self, tmp_path, checkpoint_problem):
+        model, config, _ = checkpoint_problem
+        path = tmp_path / "mismatch.npz"
+        killer = InterruptingCheckpoint(path, config=config, interrupt_after=1)
+        with pytest.raises(SimulatedKill):
+            TimeIterationSolver(model, config).solve(checkpoint=killer)
+        other = TimeIterationConfig(grid_level=2, tolerance=5e-4, max_iterations=20)
+        with pytest.raises(ValueError, match="different solver configuration"):
+            TimeIterationSolver(model, other).solve(
+                checkpoint=SolveCheckpoint(path, config=other)
+            )
+
+    def test_configless_checkpoint_records_true_config(self, tmp_path, checkpoint_problem):
+        # the solver hands its real config to the hooks, so a checkpoint
+        # created without one still carries correct provenance and resumes
+        # under config validation
+        model, config, reference = checkpoint_problem
+        path = tmp_path / "noconfig.npz"
+        killer = InterruptingCheckpoint(path, interrupt_after=2)  # no config
+        with pytest.raises(SimulatedKill):
+            TimeIterationSolver(model, config).solve(checkpoint=killer)
+        from repro.scenarios import serialize
+
+        assert serialize.load_result(path).config == config
+        resumed = TimeIterationSolver(model, config).solve(
+            checkpoint=SolveCheckpoint(path, config=config)
+        )
+        assert resumed.iterations == reference.iterations
+
+    def test_final_state_written_once(self, tmp_path, checkpoint_problem, monkeypatch):
+        model, config, _ = checkpoint_problem
+        path = tmp_path / "once.npz"
+        ckpt = SolveCheckpoint(path, config=config)
+        writes = []
+        original = ckpt._write
+
+        def counting_write(policy, records, converged, cfg):
+            writes.append((len(records), converged))
+            original(policy, records, converged, cfg)
+
+        monkeypatch.setattr(ckpt, "_write", counting_write)
+        result = TimeIterationSolver(model, config).solve(checkpoint=ckpt)
+        assert len(writes) == result.iterations  # no duplicate final write
+        assert writes[-1] == (result.iterations, True)
+
+    def test_missing_checkpoint_loads_none(self, tmp_path):
+        ckpt = SolveCheckpoint(tmp_path / "absent.npz")
+        assert ckpt.load() is None
+        assert not ckpt.exists()
+
+    def test_delete(self, tmp_path, checkpoint_problem):
+        model, config, _ = checkpoint_problem
+        path = tmp_path / "del.npz"
+        ckpt = SolveCheckpoint(path, config=config)
+        TimeIterationSolver(model, config).solve(checkpoint=ckpt)
+        assert path.exists()
+        ckpt.delete()
+        assert not path.exists()
+        ckpt.delete()  # idempotent
+
+
+@pytest.mark.slow
+class TestAdaptiveKillResume:
+    def test_adaptive_solve_resumes_bit_for_bit(self, tmp_path):
+        cal = small_calibration(num_generations=4, num_states=2, beta=0.8)
+        model = OLGModel(cal)
+        config = TimeIterationConfig(
+            grid_level=2,
+            tolerance=2e-3,
+            max_iterations=15,
+            adaptive=True,
+            refine_epsilon=5e-2,
+            max_refine_level=3,
+            max_points_per_state=120,
+        )
+        reference = TimeIterationSolver(model, config).solve()
+        path = tmp_path / "adaptive.npz"
+        killer = InterruptingCheckpoint(path, config=config, interrupt_after=2)
+        with pytest.raises(SimulatedKill):
+            TimeIterationSolver(model, config).solve(checkpoint=killer)
+        resumed = TimeIterationSolver(model, config).solve(
+            checkpoint=SolveCheckpoint(path, config=config)
+        )
+        assert resumed.iterations == reference.iterations
+        assert [r.points_per_state for r in resumed.records] == [
+            r.points_per_state for r in reference.records
+        ]
+        assert _policy_distance(resumed, reference, model) <= 1e-12
