@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.fig8 import DEFAULT_NODE_COUNTS, PAPER_FIG8, run_fig8
+from repro.experiments.fig8 import PAPER_FIG8, run_fig8
 from repro.parallel.cluster import GRAND_TAVE_NODE
 from repro.parallel.scaling import StrongScalingModel
 

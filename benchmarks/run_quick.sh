@@ -17,9 +17,16 @@ trap 'rm -rf "$SCENARIO_STORE" "$SCENARIO_STORE-fresh"' EXIT
 python -m repro.scenarios run smoke --store "$SCENARIO_STORE" --dry-run
 # first pass is killed after one iteration (checkpoint survives) ...
 python -m repro.scenarios run smoke --store "$SCENARIO_STORE" --interrupt-after 1 || true
-# ... the identical re-invocation resumes from the checkpoints and completes
+# ... the resumable checkpoints show up in the resume listing ...
+python -m repro.scenarios resume --store "$SCENARIO_STORE"
+# ... and the identical re-invocation resumes from them and completes
 python -m repro.scenarios run smoke --store "$SCENARIO_STORE"
 python -m repro.scenarios show --store "$SCENARIO_STORE"
+# the two smoke entries differ only in tau_labor; diff must say so
+python -m repro.scenarios diff \
+    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[0].content_hash())')" \
+    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[1].content_hash())')" \
+    --store "$SCENARIO_STORE"
 
 python - <<'EOF'
 import json, os, numpy as np

@@ -91,7 +91,10 @@ def compare_tax_regimes(model: OLGModel, result) -> None:
     pension_low = sim.pension[in_low].mean() if in_low.any() else float("nan")
     pension_high = sim.pension[in_high].mean() if in_high.any() else float("nan")
     print(f"{'':>28} {'low-tax regime':>15} {'high-tax regime':>16}")
-    print(f"{'mean capital':>28} {sim.capital[in_low].mean():>15.3f} {sim.capital[in_high].mean():>16.3f}")
+    print(
+        f"{'mean capital':>28} "
+        f"{sim.capital[in_low].mean():>15.3f} {sim.capital[in_high].mean():>16.3f}"
+    )
     print(f"{'mean wage':>28} {sim.wages[in_low].mean():>15.3f} {sim.wages[in_high].mean():>16.3f}")
     print(f"{'mean pension benefit':>28} {pension_low:>15.3f} {pension_high:>16.3f}")
     print(f"{'mean aggregate consumption':>28} "

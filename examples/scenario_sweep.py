@@ -9,7 +9,8 @@ the time-iteration solver:
    (content-hash skipping makes re-runs free),
 3. kill a solve mid-run and watch it resume bit-for-bit from its
    checkpoint,
-4. inspect the provenance manifest and compare results across scenarios.
+4. inspect the provenance manifest and compare results across scenarios,
+5. diff two scenarios of the sweep (what `repro-scenarios diff` prints).
 
 Run:  python examples/scenario_sweep.py
 """
@@ -28,6 +29,8 @@ from repro.scenarios import (
     ScenarioSuite,
     SimulatedKill,
     SolveCheckpoint,
+    diff_entries,
+    format_diff,
     run_suite,
 )
 
@@ -103,6 +106,13 @@ def main() -> None:
                 f"K' = {float(np.sum(savings)):.4f} "
                 f"({result.iterations} iterations, converged={result.converged})"
             )
+
+        # -------------------------------------------------------------- #
+        # 5. diff two scenarios of the sweep
+        # -------------------------------------------------------------- #
+        print("\n== 5. scenario diff (repro-scenarios diff HASH1 HASH2) ==")
+        diff = diff_entries(store, suite[0].content_hash(), suite[-1].content_hash())
+        print(format_diff(diff))
 
 
 if __name__ == "__main__":

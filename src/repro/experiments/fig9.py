@@ -21,7 +21,7 @@ paper: ~73,874 points per state on average, min 69,026, max 76,645).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

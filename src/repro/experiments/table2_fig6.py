@@ -17,7 +17,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.compression import compress_grid
 from repro.core.kernels import evaluate, list_kernels

@@ -386,7 +386,8 @@ class OLGModel:
             resources = env.gross_return * holdings + env.incomes
             rate_savings = np.maximum(0.4 * resources[: self.num_savers], 1e-6)
             savings = 0.5 * steady_savings + 0.5 * rate_savings
-            savings = np.minimum(savings, np.maximum(resources[: self.num_savers] - self.utility.c_min, 1e-6))
+            headroom = np.maximum(resources[: self.num_savers] - self.utility.c_min, 1e-6)
+            savings = np.minimum(savings, headroom)
             savings = np.maximum(savings, 1e-6)
             consumption = np.maximum(
                 resources[: self.num_savers] - savings, self.utility.c_min

@@ -21,7 +21,13 @@ from repro.core.policy import PolicySet
 from repro.olg.model import OLGModel
 from repro.olg.simulation import simulate_economy
 
-__all__ = ["WelfareComparison", "newborn_value", "consumption_equivalent", "compare_states", "ergodic_welfare"]
+__all__ = [
+    "WelfareComparison",
+    "newborn_value",
+    "consumption_equivalent",
+    "compare_states",
+    "ergodic_welfare",
+]
 
 
 @dataclass(frozen=True)

@@ -4,6 +4,13 @@ The :class:`repro.core.time_iteration.TimeIterationSolver` only requires an
 object with ``map(fn, items) -> list``; these adapters provide serial,
 thread-pool and process-pool implementations in addition to the
 work-stealing scheduler of :mod:`repro.parallel.scheduler`.
+
+Every backend returns results in input order.  Backends additionally
+declare ``dispatches_in_order``: whether workers *start* items in input
+order (serial/thread/process pools pull from one shared queue, so yes;
+the work-stealing scheduler seeds per-worker blocks, so no).  The
+scenario runner's longest-first schedule relies on this — putting the
+longest task first only helps if some worker actually starts it first.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ class SerialExecutor:
     #: consumers with a serial fast path (e.g. the time-iteration solver's
     #: direct-fill _solve_points) key off this marker
     is_serial = True
+    dispatches_in_order = True
 
     def map(self, fn, items) -> list:
         return [fn(item) for item in items]
@@ -36,6 +44,8 @@ class SerialExecutor:
 
 class ThreadPoolMapExecutor:
     """Thread-pool executor (shares memory; NumPy-heavy tasks overlap well)."""
+
+    dispatches_in_order = True
 
     def __init__(self, num_workers: int = 4) -> None:
         if num_workers < 1:
@@ -59,6 +69,8 @@ class ProcessPoolMapExecutor:
     parameter sweeps over whole model solves.
     """
 
+    dispatches_in_order = True
+
     def __init__(self, num_workers: int = 2) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -69,7 +81,9 @@ class ProcessPoolMapExecutor:
         if not items:
             return []
         with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
-            return list(pool.map(fn, items))
+            # chunksize=1 keeps submission order == start order, which the
+            # scenario runner's longest-first schedule depends on
+            return list(pool.map(fn, items, chunksize=1))
 
 
 def make_executor(kind: str = "serial", num_workers: int = 4):

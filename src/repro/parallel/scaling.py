@@ -25,7 +25,7 @@ parallel efficiency on 4,096 nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import ceil, log2
 
 import numpy as np

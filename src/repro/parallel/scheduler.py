@@ -58,6 +58,10 @@ class WorkStealingScheduler:
     worker threads and returns results in input order.
     """
 
+    #: workers start their own contiguous block, not global input order
+    #: (stealing then evens out whatever imbalance that seeding leaves)
+    dispatches_in_order = False
+
     def __init__(self, num_workers: int = 4, seed: int = 0) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -138,6 +142,8 @@ class StaticScheduler:
     other, so a block of expensive tasks leaves the other workers idle —
     exactly the imbalance the work-stealing scheduler removes.
     """
+
+    dispatches_in_order = False
 
     def __init__(self, num_workers: int = 4) -> None:
         if num_workers < 1:

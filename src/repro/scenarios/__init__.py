@@ -16,9 +16,15 @@ hand-wired single solves into managed scenario runs:
   solve resumes from the last completed iteration bit-for-bit;
 * :mod:`repro.scenarios.runner` — batch dispatch across the
   :mod:`repro.parallel` executors, skipping scenarios whose spec hash is
-  already stored;
-* :mod:`repro.scenarios.store` — on-disk results with a provenance
-  manifest (spec hash, wall time, iteration records, library version).
+  already stored and dispatching expected-longest scenarios first (prior
+  wall times from the store; spec-size heuristics for unseen hashes);
+* :mod:`repro.scenarios.store` — sharded on-disk results store (one
+  atomically-committed ``entry.json`` per scenario hash plus an
+  append-only ``manifest.log``), safe for many concurrent writer
+  processes/hosts without file locks; provenance per entry (spec hash,
+  wall time, iteration records, library version);
+* :mod:`repro.scenarios.diff` — compare two store entries: calibration
+  and solver deltas with policy-surplus and aggregate differences.
 
 Usage
 -----
@@ -29,6 +35,8 @@ Run a preset sweep from the command line (also installed as the
     python -m repro.scenarios run tax-reform --store runs/ --dry-run
     python -m repro.scenarios run tax-reform --store runs/ --executor processes --workers 4
     python -m repro.scenarios show --store runs/
+    python -m repro.scenarios diff HASH1 HASH2 --store runs/
+    python -m repro.scenarios resume --store runs/
 
 Re-running the same command skips everything already in ``runs/`` (content
 hashing), so a crashed batch is simply restarted; an interrupted solve
@@ -69,7 +77,13 @@ from repro.scenarios.checkpoint import (
     SimulatedKill,
     SolveCheckpoint,
 )
-from repro.scenarios.runner import RunOutcome, SuiteReport, run_suite
+from repro.scenarios.diff import diff_entries, format_diff
+from repro.scenarios.runner import (
+    RunOutcome,
+    SuiteReport,
+    run_suite,
+    schedule_longest_first,
+)
 from repro.scenarios.serialize import (
     load_grid,
     load_policy_set,
@@ -107,4 +121,7 @@ __all__ = [
     "RunOutcome",
     "SuiteReport",
     "run_suite",
+    "schedule_longest_first",
+    "diff_entries",
+    "format_diff",
 ]

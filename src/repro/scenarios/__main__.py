@@ -1,21 +1,27 @@
 """Command-line interface of the scenario engine.
 
 Installed as the ``repro-scenarios`` console script and runnable as
-``python -m repro.scenarios``.  Three subcommands:
+``python -m repro.scenarios``.  Subcommands:
 
-* ``list`` — show the named preset suites and their sizes;
-* ``run``  — expand a preset and run it against a results store
+* ``list``   — show the named preset suites and their sizes;
+* ``run``    — expand a preset and run it against a results store
   (``--dry-run`` prints the expansion without solving anything);
-* ``show`` — print a store's provenance manifest.
+* ``show``   — print a store's committed entries;
+* ``diff``   — compare two store entries: calibration/solver deltas plus
+  policy-surplus and aggregate differences (``--json`` for machines);
+* ``resume`` — list the resumable checkpoints sitting in a store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.parallel.executor import EXECUTOR_KINDS
-from repro.scenarios.runner import run_suite
+from repro.scenarios.diff import diff_entries, format_diff
+from repro.scenarios.runner import SCHEDULE_KINDS, run_suite
 from repro.scenarios.spec import get_preset, preset_names
 from repro.scenarios.store import ResultsStore
 
@@ -52,6 +58,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=1, help="checkpoint every N iterations"
     )
     run.add_argument(
+        "--schedule",
+        default="longest-first",
+        choices=SCHEDULE_KINDS,
+        help="dispatch order: longest-first uses prior wall times from the store "
+        "(spec-size heuristics for unseen hashes); fifo keeps suite order",
+    )
+    run.add_argument(
+        "--keep-last-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint GC: keep at most the N newest resumable checkpoints",
+    )
+    run.add_argument(
+        "--no-keep-on-failure",
+        dest="keep_on_failure",
+        action="store_false",
+        help="checkpoint GC: also drop checkpoints of failed/interrupted scenarios",
+    )
+    run.add_argument(
         "--dry-run",
         action="store_true",
         help="print the expanded suite (names, kinds, hashes) without solving",
@@ -68,9 +94,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "re-running the same command resumes)",
     )
 
-    show = sub.add_parser("show", help="print a store's provenance manifest")
+    show = sub.add_parser("show", help="print a store's committed entries")
     show.add_argument("--store", default="scenario_store")
+
+    diff = sub.add_parser(
+        "diff", help="compare two store entries (spec, aggregate and policy deltas)"
+    )
+    diff.add_argument("hash_a", metavar="HASH1", help="spec hash (or unique prefix) of entry A")
+    diff.add_argument("hash_b", metavar="HASH2", help="spec hash (or unique prefix) of entry B")
+    diff.add_argument("--store", default="scenario_store")
+    diff.add_argument("--json", action="store_true", help="emit the diff as JSON")
+    diff.add_argument(
+        "--samples",
+        type=int,
+        default=64,
+        help="state-space sample points for the policy comparison",
+    )
+
+    resume = sub.add_parser("resume", help="list resumable checkpoints in a store")
+    resume.add_argument("--store", default="scenario_store")
+    resume.add_argument("--json", action="store_true", help="emit the listing as JSON")
     return parser
+
+
+def _cmd_diff(args) -> int:
+    store = ResultsStore(args.store)
+    try:
+        diff = diff_entries(store, args.hash_a, args.hash_b, samples=args.samples)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(format_diff(diff))
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    store = ResultsStore(args.store)
+    infos = store.list_checkpoints(with_progress=True)
+    if args.json:
+        print(json.dumps(infos, indent=2, sort_keys=True))
+        return 0
+    if not infos:
+        print(f"store {store.root}: no resumable checkpoints")
+        return 0
+    print(f"store {store.root}: {len(infos)} resumable checkpoint(s)")
+    print(f"  {'name':<32} {'hash':<12} {'status':<11} {'iters':>5}  last written")
+    for info in infos:
+        iters = info.get("iterations_done")
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info["mtime"]))
+        print(
+            f"  {info['name']:<32} {info['spec_hash'][:12]:<12} "
+            f"{info['status']:<11} {('?' if iters is None else iters)!s:>5}  {stamp}"
+        )
+    print("re-run the original suite command to resume them (matching hashes are skipped)")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -86,6 +166,12 @@ def main(argv=None) -> int:
     if args.command == "show":
         print(ResultsStore(args.store).describe())
         return 0
+
+    if args.command == "diff":
+        return _cmd_diff(args)
+
+    if args.command == "resume":
+        return _cmd_resume(args)
 
     # run
     try:
@@ -107,6 +193,9 @@ def main(argv=None) -> int:
         checkpoint_every=args.checkpoint_every,
         force=args.force,
         interrupt_after=args.interrupt_after,
+        schedule=args.schedule,
+        keep_last_n=args.keep_last_n,
+        keep_on_failure=args.keep_on_failure,
         progress=print,
     )
     print(report.summary())

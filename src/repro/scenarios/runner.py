@@ -2,19 +2,24 @@
 
 ``run_suite`` expands a :class:`~repro.scenarios.spec.ScenarioSuite`,
 skips every scenario whose content hash already has a completed result in
-the :class:`~repro.scenarios.store.ResultsStore`, and dispatches the rest
+the :class:`~repro.scenarios.store.ResultsStore`, orders the remainder
+longest-first (see :func:`schedule_longest_first`) and dispatches them
 through the map-style executors of :mod:`repro.parallel.executor`
 (``serial``/``threads``/``processes``/``stealing``).  Scenario tasks are
 plain dictionaries and the worker entry point is a module-level function,
 so the process-pool backend works out of the box.
 
-Workers write result files into their scenario's store directory; manifest
-entries are committed by the parent afterwards, sequentially, so
-concurrent workers never race on the manifest.  Solve scenarios checkpoint
-through :class:`~repro.scenarios.checkpoint.SolveCheckpoint` into the
-store, which makes every scenario of a batch individually resumable: re-run
-the same suite after a crash and completed scenarios are skipped by hash
-while the interrupted one resumes from its last checkpoint.
+The sharded store (layout v2) is multi-writer safe, so each worker
+*commits its own manifest entry* the moment its result files are on disk:
+a worker that finishes makes its work durable without depending on the
+parent surviving, and several hosts can fill one store concurrently.
+Solve scenarios checkpoint through
+:class:`~repro.scenarios.checkpoint.SolveCheckpoint` into the store, which
+makes every scenario of a batch individually resumable: re-run the same
+suite after a crash and completed scenarios are skipped by hash while the
+interrupted one resumes from its last checkpoint.  After the batch the
+parent applies the checkpoint GC policy (``keep_last_n`` /
+``keep_on_failure``).
 
 Experiment scenarios (kinds in
 :data:`repro.scenarios.spec.EXPERIMENT_KINDS`) run through thin
@@ -25,6 +30,7 @@ JSON payloads with the same provenance manifest.
 from __future__ import annotations
 
 import importlib
+import statistics
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -35,7 +41,14 @@ from repro.scenarios.spec import ScenarioSpec, ScenarioSuite
 from repro.scenarios.store import ResultsStore
 from repro.utils.logging import get_logger
 
-__all__ = ["RunOutcome", "SuiteReport", "run_suite", "EXPERIMENT_ADAPTERS"]
+__all__ = [
+    "RunOutcome",
+    "SuiteReport",
+    "run_suite",
+    "schedule_longest_first",
+    "EXPERIMENT_ADAPTERS",
+    "SCHEDULE_KINDS",
+]
 
 logger = get_logger("scenarios.runner")
 
@@ -49,6 +62,9 @@ EXPERIMENT_ADAPTERS = {
     "fig9": "repro.experiments.fig9:run_scenario",
     "ablations": "repro.experiments.ablations:run_scenario",
 }
+
+#: dispatch orders accepted by run_suite (and the CLI --schedule flag)
+SCHEDULE_KINDS = ("longest-first", "fifo")
 
 
 def _resolve_adapter(kind: str):
@@ -91,34 +107,91 @@ class SuiteReport:
         return f"suite {self.suite_name!r}: " + (", ".join(parts) if parts else "nothing to do")
 
 
+def schedule_longest_first(specs, wall_times: dict) -> list:
+    """Order specs by expected wall time, longest first.
+
+    The same proportional-load idea as the paper's state-space
+    partitioning: dispatching the longest tasks first minimises the
+    makespan tail when the suite is wider than the worker pool.
+
+    ``wall_times`` maps spec content hash -> recorded seconds (from
+    :meth:`~repro.scenarios.store.ResultsStore.wall_times`).  Hashes the
+    store has never timed fall back to :meth:`ScenarioSpec.estimated_cost`;
+    when at least one recorded time exists, heuristic costs are rescaled
+    into pseudo-seconds with the median seconds-per-cost-unit of the
+    recorded specs, so the two populations sort on one comparable axis.
+    The sort is stable: ties keep suite order.
+    """
+    specs = list(specs)
+    costs = [spec.estimated_cost() for spec in specs]
+    recorded = [
+        (wall_times[spec.content_hash()], cost)
+        for spec, cost in zip(specs, costs)
+        if spec.content_hash() in wall_times
+    ]
+    scale = (
+        statistics.median(wall / cost for wall, cost in recorded if cost > 0)
+        if any(cost > 0 for _, cost in recorded)
+        else None
+    )
+
+    def expected_seconds(spec: ScenarioSpec, cost: float) -> float:
+        wall = wall_times.get(spec.content_hash())
+        if wall is not None:
+            return float(wall)
+        return float(cost * scale) if scale is not None else float(cost)
+
+    order = sorted(
+        range(len(specs)),
+        key=lambda i: expected_seconds(specs[i], costs[i]),
+        reverse=True,
+    )
+    return [specs[i] for i in order]
+
+
 def _execute_task(task: dict) -> dict:
     """Run one scenario; top-level so the process executor can pickle it.
 
-    Returns the manifest entry (status ``completed``/``interrupted``/
-    ``failed``); the parent commits it.
+    Writes the scenario's files, *commits its manifest entry* (status
+    ``completed``/``interrupted``/``failed``) into the sharded store and
+    returns the entry for the parent's report.  Committing in the worker
+    is safe — entry files are per-hash and the log append is atomic — and
+    makes finished work durable even if the parent dies before the batch
+    barrier.
     """
     spec = ScenarioSpec.from_dict(task["spec"])
     store = ResultsStore(task["store_root"])
+    # persist the spec up front so even interrupted/failed entries can be
+    # inspected and diffed (spec deltas explain *why* a variant failed)
+    store.save_spec(spec)
     t0 = time.perf_counter()
     try:
         if spec.kind == "solve":
-            return _execute_solve(spec, store, task, t0)
-        adapter = _resolve_adapter(spec.kind)
-        payload = {"params": dict(spec.params), "result": adapter(dict(spec.params))}
-        return store.write_payload(spec, payload, time.perf_counter() - t0)
+            entry = _execute_solve(spec, store, task, t0)
+        else:
+            adapter = _resolve_adapter(spec.kind)
+            payload = {"params": dict(spec.params), "result": adapter(dict(spec.params))}
+            entry = store.write_payload(spec, payload, time.perf_counter() - t0)
     except SimulatedKill as exc:
         # the --interrupt-after testing hook only; a genuine KeyboardInterrupt
         # (user Ctrl-C) propagates and stops the whole batch — the on-disk
         # checkpoints make the next identical invocation resume
-        return store.failure_entry(spec, "interrupted", time.perf_counter() - t0, str(exc))
+        entry = store.failure_entry(spec, "interrupted", time.perf_counter() - t0, str(exc))
     except Exception as exc:  # noqa: BLE001 - one bad scenario must not kill the batch
         logger.warning("scenario %s failed: %s", spec.name, exc)
-        return store.failure_entry(
+        entry = store.failure_entry(
             spec,
             "failed",
             time.perf_counter() - t0,
             "".join(traceback.format_exception_only(type(exc), exc)).strip(),
         )
+    store.commit_entry(entry)
+    if entry["status"] == "completed" and spec.kind == "solve":
+        # safe to drop only now that the committed entry points at the
+        # result; missing_ok because a concurrent same-hash writer or
+        # another batch's GC may have removed it first
+        store.checkpoint_path(spec).unlink(missing_ok=True)
+    return entry
 
 
 def _execute_solve(spec: ScenarioSpec, store: ResultsStore, task: dict, t0: float) -> dict:
@@ -148,16 +221,7 @@ def _execute_solve(spec: ScenarioSpec, store: ResultsStore, task: dict, t0: floa
         )
     resumed = checkpoint.exists()
     result = solver.solve(checkpoint=checkpoint)
-    entry = store.write_result(
-        spec, result, time.perf_counter() - t0, resumed=resumed
-    )
-    # NOTE: the checkpoint is deliberately *not* deleted here.  Manifest
-    # entries are committed by the parent after the batch barrier; if the
-    # parent dies first, store.has() is still False and the scenario will
-    # be re-dispatched — the surviving (converged) checkpoint then makes
-    # that re-run return instantly instead of solving from iteration 1.
-    # The parent deletes the checkpoint right after committing the entry.
-    return entry
+    return store.write_result(spec, result, time.perf_counter() - t0, resumed=resumed)
 
 
 def run_suite(
@@ -170,6 +234,9 @@ def run_suite(
     checkpoint_every: int = 1,
     force: bool = False,
     interrupt_after: int | None = None,
+    schedule: str = "longest-first",
+    keep_last_n: int | None = None,
+    keep_on_failure: bool = True,
     progress=None,
 ) -> SuiteReport:
     """Run every scenario of ``suite`` whose hash is not in ``store`` yet.
@@ -182,7 +249,8 @@ def run_suite(
         Scenario-level dispatch backend (one of
         :data:`repro.parallel.executor.EXECUTOR_KINDS`) and its worker
         count.  ``processes`` gives real parallelism across scenarios;
-        specs and tasks are plain data, so they pickle.
+        specs and tasks are plain data, so they pickle, and the sharded
+        store lets every worker commit its own entry.
     point_executor, point_workers
         Executor used *inside* each solve for the per-grid-point systems
         (keep ``serial`` when the scenario level is already parallel).
@@ -193,18 +261,28 @@ def run_suite(
     interrupt_after
         Testing/demo hook: kill each solve after N iterations (after
         checkpointing), as ``--interrupt-after`` in the CLI.
+    schedule
+        ``"longest-first"`` (default) feeds prior wall times from the
+        store — falling back to spec-size heuristics for unseen hashes —
+        into :func:`schedule_longest_first`; ``"fifo"`` keeps suite order.
+    keep_last_n, keep_on_failure
+        Checkpoint GC policy applied after the batch (see
+        :meth:`~repro.scenarios.store.ResultsStore.gc_checkpoints`).  The
+        defaults keep every resumable checkpoint.
     progress
         Optional ``callable(str)`` receiving one line per scenario.
     """
     if executor not in EXECUTOR_KINDS:
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}")
+    if schedule not in SCHEDULE_KINDS:
+        raise ValueError(f"unknown schedule {schedule!r}; expected one of {SCHEDULE_KINDS}")
     say = progress if progress is not None else (lambda line: None)
     report = SuiteReport(suite.name)
     pending = []
     pending_hashes: set = set()
     deferred = []
-    # one manifest snapshot for the whole scan (not one read per spec)
-    known = store.load_manifest()["entries"]
+    # one index snapshot for the whole scan (not one entry read per spec)
+    known = store.index()
     for spec in suite:
         spec_hash = spec.content_hash()
         entry = known.get(spec_hash)
@@ -221,6 +299,17 @@ def run_suite(
         else:
             pending.append(spec)
             pending_hashes.add(spec_hash)
+    mapper = make_executor(executor, num_workers)
+    if schedule == "longest-first" and len(pending) > 1:
+        pending = schedule_longest_first(pending, store.wall_times())
+        if not getattr(mapper, "dispatches_in_order", False):
+            # e.g. the work-stealing backend seeds per-worker blocks, so
+            # the longest-first order only biases, not fixes, start order
+            logger.info(
+                "executor %r does not dispatch in order; longest-first "
+                "schedule is approximate",
+                executor,
+            )
     tasks = [
         {
             "spec": spec.to_dict(),
@@ -232,17 +321,11 @@ def run_suite(
         }
         for spec in pending
     ]
-    mapper = make_executor(executor, num_workers)
     entries = mapper.map(_execute_task, tasks) if tasks else []
-    # single batched manifest commit for the whole barrier
-    committed = store.commit_entries(entries)
+    # workers committed their own entries; the parent only reports and GCs
+    committed = {entry["spec_hash"]: entry for entry in entries}
     for spec, entry in zip(pending, entries):
         status = entry["status"]
-        if status == "completed" and spec.kind == "solve":
-            # safe to drop only now that the manifest points at the result
-            ckpt = store.checkpoint_path(spec)
-            if ckpt.exists():
-                ckpt.unlink()
         say(f"{status:<5} {spec.name} [{spec.short_hash}] ({entry['wall_time']:.2f}s)")
         report.outcomes.append(
             RunOutcome(
@@ -269,4 +352,11 @@ def run_suite(
                 error=entry.get("error") if entry else "duplicate of a scenario that never ran",
             )
         )
+    # GC only this suite's checkpoint directories: a concurrent batch's
+    # in-flight checkpoints (other hashes) are never this batch's business
+    removed = store.gc_checkpoints(
+        keep_last_n=keep_last_n, keep_on_failure=keep_on_failure, hashes=suite.hashes()
+    )
+    for path in removed:
+        logger.info("gc: removed checkpoint %s", path)
     return report

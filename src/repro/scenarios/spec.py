@@ -169,6 +169,32 @@ class ScenarioSpec:
     def short_hash(self) -> str:
         return self.content_hash()[:12]
 
+    def estimated_cost(self) -> float:
+        """Relative cost estimate for suite scheduling (arbitrary units).
+
+        Used by the runner's longest-first dispatch as the fallback for
+        hashes the store has no recorded wall time for.  For solves the
+        proxy is (sparse-grid points) x (iteration cap) x (discrete
+        states): points per state grow like ``2^level * level^(d-1)`` with
+        the savers' dimension ``d = num_generations - 1``, and each
+        iteration solves every point of every state once.  Experiment
+        kinds have no comparable structure; their spec size is used as a
+        weak tie-breaker.  Only *relative* order matters — the scheduler
+        rescales these against recorded wall times when it has any.
+        """
+        if self.kind != "solve":
+            return 1.0 + len(canonical_json(self.params))
+        from repro.olg.calibration import small_calibration
+
+        sig = inspect.signature(small_calibration).parameters
+        gens = int(self.calibration.get("num_generations", sig["num_generations"].default))
+        states = int(self.calibration.get("num_states", sig["num_states"].default))
+        config = TimeIterationConfig(**self.solver)
+        level = max(int(config.grid_level), 1)
+        dim = max(gens - 1, 1)
+        points = (2.0**level) * float(level) ** max(dim - 1, 0)
+        return points * max(int(config.max_iterations), 1) * max(states, 1)
+
     # ------------------------------------------------------------------ #
     # construction of the runnable objects
     # ------------------------------------------------------------------ #

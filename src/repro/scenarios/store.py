@@ -1,22 +1,49 @@
-"""On-disk, provenance-tracked results store.
+"""Sharded, concurrent-safe, provenance-tracked results store (layout v2).
 
 Layout::
 
     <root>/
-      manifest.json               # index: spec hash -> manifest entry
+      manifest.log                # append-only JSONL: one line per commit
+      manifest.v1.json            # parked copy of a migrated legacy manifest
       <hash16>/                   # one directory per scenario content hash
+        entry.json                # the manifest entry, committed atomically
         spec.json                 # the full ScenarioSpec that produced it
         result.npz                # solve scenarios: serialized TimeIterationResult
         payload.json              # experiment scenarios: JSON result payload
-        checkpoint.npz            # transient; deleted once the result lands
+        checkpoint.npz            # transient; survives per the GC policy
 
-Every manifest entry records *provenance*: the spec content hash, wall
-time, iteration summary, library/numpy/python versions, hostname and a
-creation timestamp — enough to answer "where did this number come from and
-under which code was it produced".  The manifest is rewritten atomically
-(temp file + ``os.replace``); result/payload files are written before the
-manifest entry is committed, so a completed entry always points at a
-readable file.
+Concurrency model — no file locks anywhere:
+
+* The authoritative record for a scenario is its ``entry.json``, written
+  atomically (unique temp name + ``os.replace``).  Entries are keyed by the
+  spec *content hash*, so two writers racing on the same hash are writing
+  the same computation's result and last-writer-wins is safe; writers on
+  different hashes touch disjoint directories.
+* ``manifest.log`` exists only for cheap discovery (which hashes live
+  here, plus the wall times the suite scheduler feeds on).  Each commit
+  appends one compact JSON line with a single ``O_APPEND`` write, which
+  local POSIX filesystems keep whole across processes (NFS does not
+  guarantee this — there the log degrades to a best-effort cache).  The
+  log may contain duplicates (re-runs) and, after a crash between entry
+  write and log append or a torn network-filesystem append, may miss a
+  hash; :meth:`ResultsStore.reindex` (also retried automatically on hash
+  lookup misses) repairs that from the ``entry.json`` files, and the
+  index rebuild always re-reads ``entry.json`` per hash, so the log is
+  never trusted for entry content.
+* Commits are status-aware: a failed/interrupted entry never overwrites
+  a completed entry whose result file is still readable, so a racing
+  writer hitting a transient error cannot hide finished work.
+
+A legacy v1 store (monolithic ``manifest.json`` rewritten per commit) is
+migrated on first open: every legacy entry is re-committed into the
+sharded layout and the old manifest is parked as ``manifest.v1.json``.
+Migration is idempotent and crash-safe — a half-migrated store simply
+migrates again.
+
+Every entry records *provenance*: the spec content hash, wall time,
+iteration summary, library/numpy/python versions, hostname and a creation
+timestamp — enough to answer "where did this number come from and under
+which code was it produced".
 """
 
 from __future__ import annotations
@@ -35,8 +62,13 @@ from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["ResultsStore"]
 
-_MANIFEST_VERSION = 1
+_STORE_LAYOUT_VERSION = 2
+_LEGACY_MANIFEST_VERSION = 1
 _DIR_HASH_CHARS = 16
+
+#: keys of an entry copied onto its manifest.log line (enough for discovery
+#: and wall-time-aware scheduling without opening any entry.json)
+_LOG_FIELDS = ("spec_hash", "name", "kind", "status", "wall_time", "created_at_unix")
 
 
 def _atomic_json(path: Path, data) -> None:
@@ -63,13 +95,16 @@ def _provenance() -> dict:
 
 
 class ResultsStore:
-    """Directory-backed scenario results with a JSON manifest."""
+    """Directory-backed scenario results, sharded one directory per hash."""
 
-    MANIFEST = "manifest.json"
+    MANIFEST_LOG = "manifest.log"
+    LEGACY_MANIFEST = "manifest.json"
+    ENTRY_FILE = "entry.json"
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._migrate_legacy_manifest()
 
     # ------------------------------------------------------------------ #
     # paths
@@ -83,6 +118,9 @@ class ResultsStore:
     def scenario_dir(self, spec_or_hash) -> Path:
         return self.root / self._hash_of(spec_or_hash)[:_DIR_HASH_CHARS]
 
+    def entry_path(self, spec_or_hash) -> Path:
+        return self.scenario_dir(spec_or_hash) / self.ENTRY_FILE
+
     def result_path(self, spec_or_hash) -> Path:
         return self.scenario_dir(spec_or_hash) / "result.npz"
 
@@ -95,62 +133,189 @@ class ResultsStore:
     def spec_path(self, spec_or_hash) -> Path:
         return self.scenario_dir(spec_or_hash) / "spec.json"
 
-    # ------------------------------------------------------------------ #
-    # manifest
-    # ------------------------------------------------------------------ #
     @property
-    def manifest_path(self) -> Path:
-        return self.root / self.MANIFEST
+    def log_path(self) -> Path:
+        return self.root / self.MANIFEST_LOG
 
-    def load_manifest(self) -> dict:
-        if not self.manifest_path.exists():
-            return {"version": _MANIFEST_VERSION, "entries": {}}
-        with open(self.manifest_path, "r", encoding="utf-8") as fh:
-            manifest = json.load(fh)
-        if manifest.get("version") != _MANIFEST_VERSION:
-            raise ValueError(f"unsupported manifest version in {self.manifest_path}")
-        return manifest
+    # ------------------------------------------------------------------ #
+    # legacy migration
+    # ------------------------------------------------------------------ #
+    def _migrate_legacy_manifest(self) -> None:
+        """Absorb a v1 monolithic ``manifest.json`` into the sharded layout.
 
-    def _write_manifest(self, manifest: dict) -> None:
-        _atomic_json(self.manifest_path, manifest)
-
-    def commit_entries(self, entries: list) -> dict:
-        """Insert/replace many manifest entries with ONE read + ONE write.
-
-        The batch runner commits a whole barrier's worth of entries at
-        once; per-entry read-modify-write cycles would make an n-scenario
-        batch O(n^2) in manifest I/O.  Returns the manifest's entries
-        mapping (spec hash -> entry) after the commit.
+        Every legacy entry is re-committed (entry.json + log line; both
+        idempotent, last-writer-wins), then the legacy file is parked as
+        ``manifest.v1.json``.  Crash mid-way and the next open simply
+        migrates again; two processes migrating concurrently both write
+        identical entries and the loser of the final rename sees the file
+        already gone.
         """
-        manifest = self.load_manifest()
-        for entry in entries:
-            if "spec_hash" not in entry:
-                raise ValueError("manifest entry needs a spec_hash")
-            manifest["entries"][entry["spec_hash"]] = entry
-        if entries:
-            self._write_manifest(manifest)
-        return manifest["entries"]
+        legacy = self.root / self.LEGACY_MANIFEST
+        if not legacy.exists():
+            return
+        with open(legacy, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("version") != _LEGACY_MANIFEST_VERSION:
+            raise ValueError(f"unsupported legacy manifest version in {legacy}")
+        for entry in manifest.get("entries", {}).values():
+            self.commit_entry(entry)
+        try:
+            legacy.rename(self.root / "manifest.v1.json")
+        except FileNotFoundError:  # a concurrent opener migrated first
+            pass
 
+    # ------------------------------------------------------------------ #
+    # committing and indexing entries
+    # ------------------------------------------------------------------ #
     def commit_entry(self, entry: dict) -> dict:
-        """Insert/replace one manifest entry (keyed by its ``spec_hash``)."""
-        self.commit_entries([entry])
+        """Commit one entry: atomic ``entry.json`` write + one log append.
+
+        Safe to call from any number of processes; per hash the last
+        writer wins wholesale (entries are content-addressed, so
+        concurrent writers of one hash carry the same computation).
+        """
+        if "spec_hash" not in entry:
+            raise ValueError("manifest entry needs a spec_hash")
+        entry = dict(entry)
+        if entry.get("status") != "completed":
+            existing = self.entry(entry["spec_hash"])
+            if self.entry_is_complete(existing):
+                # never downgrade: a failed/interrupted re-run (forced, or a
+                # racing second host hitting a transient error) must not
+                # hide a completed entry whose result is still readable
+                return existing
+        entry.setdefault("directory", self.scenario_dir(entry["spec_hash"]).name)
+        _atomic_json(self.entry_path(entry["spec_hash"]), entry)
+        serialize.append_jsonl(
+            self.log_path, {k: entry[k] for k in _LOG_FIELDS if k in entry}
+        )
         return entry
 
+    def commit_entries(self, entries: list) -> dict:
+        """Commit many entries; returns the index mapping afterwards."""
+        for entry in entries:
+            self.commit_entry(entry)
+        return self.index()
+
+    def log_records(self) -> list:
+        """The raw append-only log, oldest first (may contain duplicates)."""
+        return serialize.read_jsonl(self.log_path)
+
+    def known_hashes(self) -> list:
+        """Distinct spec hashes in log order of first appearance."""
+        seen: dict[str, None] = {}
+        for rec in self.log_records():
+            h = rec.get("spec_hash")
+            if h:
+                seen.setdefault(h, None)
+        return list(seen)
+
+    def index(self) -> dict:
+        """Rebuild the hash -> entry index from the log + entry files.
+
+        The log supplies the hash set cheaply; each entry is then re-read
+        from its authoritative ``entry.json`` (the log line is never
+        trusted for content).  Hashes whose entry file vanished (pruned
+        directory) are dropped.
+        """
+        index = {}
+        for h in self.known_hashes():
+            entry = self.entry(h)
+            if entry is not None:
+                index[h] = entry
+        return index
+
+    def reindex(self) -> dict:
+        """Self-heal the log from the ``entry.json`` files, then index.
+
+        Covers the crash window between an entry write and its log append
+        (and stores assembled by copying scenario directories around): any
+        ``*/entry.json`` whose hash is missing from the log is re-appended.
+        """
+        logged = set(self.known_hashes())
+        for entry_file in sorted(self.root.glob(f"*/{self.ENTRY_FILE}")):
+            try:
+                with open(entry_file, "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            h = entry.get("spec_hash")
+            if h and h not in logged:
+                serialize.append_jsonl(
+                    self.log_path, {k: entry[k] for k in _LOG_FIELDS if k in entry}
+                )
+                logged.add(h)
+        return self.index()
+
     def entries(self) -> list:
-        """All manifest entries, oldest first."""
-        entries = list(self.load_manifest()["entries"].values())
+        """All committed entries, oldest first."""
+        entries = list(self.index().values())
         entries.sort(key=lambda e: e.get("created_at_unix", 0.0))
         return entries
 
     def entry(self, spec_or_hash) -> dict | None:
-        return self.load_manifest()["entries"].get(self._hash_of(spec_or_hash))
+        """The committed entry for this hash (one file read, no log scan)."""
+        path = self.entry_path(spec_or_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            return None  # torn by an unkillable non-atomic writer; treat as absent
+
+    def resolve_hash(self, prefix: str) -> str:
+        """Expand a (unique) hash prefix to the full spec hash.
+
+        A miss triggers one :meth:`reindex` retry, so entries whose log
+        line was lost (crashed writer, non-atomic network filesystem
+        append) are still found as long as their ``entry.json`` exists.
+        """
+        prefix = str(prefix)
+        if len(prefix) >= 64:
+            return prefix
+        matches = sorted(h for h in self.known_hashes() if h.startswith(prefix))
+        if not matches:
+            matches = sorted(h for h in self.reindex() if h.startswith(prefix))
+        if not matches:
+            raise KeyError(f"no store entry matches hash prefix {prefix!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"hash prefix {prefix!r} is ambiguous: "
+                + ", ".join(m[:16] for m in matches)
+            )
+        return matches[0]
+
+    def wall_times(self) -> dict:
+        """hash -> most recent recorded wall time, straight from the log.
+
+        Fed to the runner's longest-first scheduler.  A *completed*
+        record always beats interrupted/failed ones — a forced re-run
+        killed after one iteration must not overwrite a full solve's
+        recorded 300s with its 2s partial and invert the schedule.
+        Partial times still stand in when no completed run exists (they
+        are a lower bound on the scenario's true cost).
+        """
+        times: dict = {}
+        completed: set = set()
+        for rec in self.log_records():
+            h = rec.get("spec_hash")
+            wall = rec.get("wall_time")
+            if not h or not isinstance(wall, (int, float)) or wall <= 0:
+                continue
+            if rec.get("status") == "completed":
+                times[h] = float(wall)
+                completed.add(h)
+            elif h not in completed:
+                times[h] = float(wall)
+        return times
 
     def entry_is_complete(self, entry: dict | None) -> bool:
-        """Whether a manifest entry denotes a completed, readable result.
+        """Whether an entry denotes a completed, readable result.
 
-        Takes the entry (possibly from a caller-held manifest snapshot, so
-        batch scans need not re-read the manifest per spec) and verifies
-        the result/payload file it points at actually exists.
+        Takes the entry (possibly from a caller-held index snapshot, so
+        batch scans need not re-read per spec) and verifies the
+        result/payload file it points at actually exists.
         """
         if entry is None or entry.get("status") != "completed":
             return False
@@ -193,9 +358,9 @@ class ResultsStore:
     ) -> dict:
         """Persist a solve result + spec and build its manifest entry.
 
-        The entry is *returned, not committed* — callers (the runner's
-        parent process) commit entries sequentially so concurrent workers
-        never race on the manifest.
+        The entry is *returned, not committed* — the scenario runner's
+        worker commits it (``commit_entry``) once everything the entry
+        points at is on disk.
         """
         self.save_spec(spec)
         serialize.save_result(
@@ -250,8 +415,92 @@ class ResultsStore:
         data.pop("spec_hash", None)
         return ScenarioSpec.from_dict(data)
 
+    # ------------------------------------------------------------------ #
+    # checkpoints: listing and garbage collection
+    # ------------------------------------------------------------------ #
+    def list_checkpoints(self, with_progress: bool = False) -> list:
+        """Checkpoints on disk, newest first, annotated with entry status.
+
+        Each item carries the checkpoint path/mtime and, when the
+        scenario's entry/spec files exist, its hash, name and status.
+        ``with_progress=True`` additionally opens each checkpoint to
+        report the iteration it would resume from (the ``resume`` CLI).
+        """
+        infos = []
+        for ckpt in self.root.glob("*/checkpoint.npz"):
+            entry = self.entry(ckpt.parent.name) or {}
+            try:
+                mtime = ckpt.stat().st_mtime
+            except FileNotFoundError:
+                continue  # a concurrent writer/GC removed it mid-scan
+            info = {
+                "path": str(ckpt),
+                "directory": ckpt.parent.name,
+                "mtime": mtime,
+                "spec_hash": entry.get("spec_hash", ckpt.parent.name),
+                "name": entry.get("name", "?"),
+                "status": entry.get("status", "unknown"),
+            }
+            if with_progress:
+                try:
+                    info["iterations_done"] = len(serialize.load_result(ckpt).records)
+                except Exception:  # noqa: BLE001 - a corrupt checkpoint is reported, not fatal
+                    info["iterations_done"] = None
+            infos.append(info)
+        infos.sort(key=lambda i: i["mtime"], reverse=True)
+        return infos
+
+    def gc_checkpoints(
+        self,
+        keep_last_n: int | None = None,
+        keep_on_failure: bool = True,
+        hashes=None,
+    ) -> list:
+        """Delete checkpoints per policy; returns the removed paths.
+
+        * checkpoints of *completed* scenarios are always stale (the
+          committed result supersedes them) and are removed;
+        * ``keep_on_failure`` (default) preserves checkpoints of
+          interrupted/failed/unknown scenarios so they can resume;
+          ``False`` drops those too;
+        * ``keep_last_n`` caps the survivors at the N most recently
+          written checkpoints (by mtime), bounding store growth under
+          repeated kill/resume churn;
+        * ``hashes`` restricts the sweep to those spec hashes.  The batch
+          runner passes its own suite's hashes so one batch's epilogue GC
+          can never touch a concurrent batch's in-flight checkpoints
+          (e.g. a forced re-run of a completed hash on another host).
+        """
+        if keep_last_n is not None and keep_last_n < 0:
+            raise ValueError("keep_last_n must be >= 0")
+        scope = None
+        if hashes is not None:
+            scope = {self._hash_of(h)[:_DIR_HASH_CHARS] for h in hashes}
+        removed = []
+        survivors = []
+        for info in self.list_checkpoints():
+            if scope is not None and info["directory"] not in scope:
+                continue
+            if info["status"] == "completed" or not keep_on_failure:
+                removed.append(info)
+            else:
+                survivors.append(info)
+        if keep_last_n is not None:
+            # list_checkpoints is newest-first; everything past N goes
+            removed.extend(survivors[keep_last_n:])
+        paths = []
+        for info in removed:
+            path = Path(info["path"])
+            try:
+                path.unlink()
+                paths.append(path)
+            except FileNotFoundError:
+                pass  # a concurrent writer/GC got there first
+        return paths
+
+    # ------------------------------------------------------------------ #
     def describe(self) -> str:
-        """Human-readable manifest summary (the CLI ``show`` command)."""
+        """Human-readable store summary (the CLI ``show`` command)."""
         entries = self.entries()
         if not entries:
             return f"store {self.root}: empty"

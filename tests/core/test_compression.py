@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.compression import (
-    CompressedGrid,
     compress_grid,
     compression_stats,
     decompose,

@@ -132,7 +132,8 @@ class TestConvergence:
         sample = model.domain.sample(10, rng=1)
         result = TimeIterationSolver(model, config).solve(error_sample=sample)
         assert all("linf" in r.equilibrium_errors for r in result.records)
-        assert result.records[-1].equilibrium_errors["linf"] < result.records[0].equilibrium_errors["linf"]
+        errors = [r.equilibrium_errors["linf"] for r in result.records]
+        assert errors[-1] < errors[0]
 
 
 class TestBookkeeping:

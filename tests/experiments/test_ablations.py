@@ -1,6 +1,5 @@
 """Tests for the ablation experiments."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.ablations import (

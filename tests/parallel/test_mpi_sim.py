@@ -1,6 +1,5 @@
 """Tests for the simulated MPI communicator."""
 
-import numpy as np
 import pytest
 
 from repro.parallel.mpi_sim import SimCommWorld, SimGroup

@@ -25,7 +25,8 @@ def _tiny_solve_spec(name="tiny", **calibration):
 @pytest.fixture()
 def tiny_suite():
     return ScenarioSuite(
-        "tiny", [_tiny_solve_spec("tiny-lo", tau_labor=0.1), _tiny_solve_spec("tiny-hi", tau_labor=0.2)]
+        "tiny",
+        [_tiny_solve_spec("tiny-lo", tau_labor=0.1), _tiny_solve_spec("tiny-hi", tau_labor=0.2)],
     )
 
 
@@ -65,11 +66,17 @@ class TestResultsStore:
         clone = store.load_spec(spec)
         assert clone == spec
 
-    def test_manifest_is_valid_json(self, tmp_path, tiny_suite):
+    def test_sharded_layout_on_disk(self, tmp_path, tiny_suite):
         store = ResultsStore(tmp_path / "store")
         run_suite(tiny_suite, store)
-        manifest = json.loads(store.manifest_path.read_text())
-        assert set(manifest["entries"]) == set(tiny_suite.hashes())
+        # one committed entry.json per scenario hash, all valid JSON
+        for h in tiny_suite.hashes():
+            entry = json.loads(store.entry_path(h).read_text())
+            assert entry["spec_hash"] == h
+        # the append-only log is line-delimited JSON covering every hash
+        lines = [json.loads(line) for line in store.log_path.read_text().splitlines()]
+        assert {rec["spec_hash"] for rec in lines} == set(tiny_suite.hashes())
+        assert set(store.index()) == set(tiny_suite.hashes())
 
     def test_describe_mentions_each_entry(self, tmp_path, tiny_suite):
         store = ResultsStore(tmp_path / "store")
@@ -108,9 +115,10 @@ class TestRunner:
         assert a.iterations == b.iterations
         assert np.array_equal(a.error_history(), b.error_history())
 
-    def test_parent_death_between_result_and_commit_is_recoverable(self, tmp_path):
-        # simulate: worker finished (result + checkpoint on disk) but the
-        # parent died before committing the manifest entry
+    def test_worker_commit_survives_parent_death(self, tmp_path):
+        # a worker that finishes commits its own entry into the sharded
+        # store: the work is durable even if the parent dies right after,
+        # and the restarted batch skips it by hash instead of re-solving
         import repro.scenarios.runner as runner_mod
 
         suite = ScenarioSuite("one", [_tiny_solve_spec("orphan")])
@@ -127,14 +135,24 @@ class TestRunner:
         entry = runner_mod._execute_task(task)
         assert entry["status"] == "completed"
         assert store.result_path(spec).exists()
-        assert store.checkpoint_path(spec).exists()  # kept until commit
-        assert not store.has(spec)  # manifest never committed
-        # the restarted batch re-dispatches; the converged checkpoint makes
-        # the re-run instant, and this time the entry is committed
+        assert store.has(spec)  # committed by the worker itself
+        assert not store.checkpoint_path(spec).exists()  # dropped post-commit
         report = run_suite(suite, store)
-        assert report.count("completed") == 1
-        assert store.has(spec)
-        assert not store.checkpoint_path(spec).exists()  # deleted post-commit
+        assert report.count("skipped") == 1
+
+    def test_reindex_recovers_entry_missing_from_log(self, tmp_path):
+        # crash window: entry.json written but the log append never
+        # happened (or the log was lost) — reindex heals the log from the
+        # entry files and the entry becomes discoverable again
+        suite = ScenarioSuite("one", [_tiny_solve_spec("heal")])
+        store = ResultsStore(tmp_path / "store")
+        run_suite(suite, store)
+        store.log_path.unlink()
+        assert store.index() == {}  # log-based discovery finds nothing
+        assert store.has(suite[0])  # ...but direct entry reads still work
+        index = store.reindex()
+        assert set(index) == {suite[0].content_hash()}
+        assert set(store.index()) == {suite[0].content_hash()}
 
     def test_interrupt_with_sparse_checkpoint_still_resumable(self, tmp_path):
         # interrupt before the first periodic checkpoint would have fired:
@@ -272,7 +290,7 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "2 scenario(s)" in out
-        assert not (tmp_path / "s" / "manifest.json").exists()
+        assert not (tmp_path / "s" / "manifest.log").exists()
 
     def test_run_show_and_skip(self, tmp_path, capsys):
         store = str(tmp_path / "s")

@@ -1,0 +1,92 @@
+"""Local validation of the CI pipeline definition (act-style).
+
+CI only helps if the workflow file itself is kept honest: valid YAML,
+jobs that exist, commands that reference scripts actually in the repo,
+and a test matrix that really covers two python versions.  These tests
+run in tier-1, so a PR that breaks the pipeline definition fails before
+it ever reaches GitHub.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO = Path(__file__).resolve().parents[1]
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    assert WORKFLOW.exists(), "the CI workflow file is missing"
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def _run_commands(job: dict) -> list:
+    return [step["run"] for step in job["steps"] if "run" in step]
+
+
+class TestWorkflowStructure:
+    def test_valid_yaml_with_required_jobs(self, workflow):
+        assert workflow["name"] == "CI"
+        assert set(workflow["jobs"]) >= {"tests", "bench", "lint"}
+
+    def test_triggers_cover_push_and_pr(self, workflow):
+        # YAML 1.1 parses the bare key `on` as boolean True
+        triggers = workflow.get("on", workflow.get(True))
+        assert "pull_request" in triggers and "push" in triggers
+
+    def test_matrix_covers_two_python_versions(self, workflow):
+        versions = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
+        assert len(set(versions)) >= 2
+
+    def test_every_job_checks_out_and_sets_up_python(self, workflow):
+        for name, job in workflow["jobs"].items():
+            uses = [step.get("uses", "") for step in job["steps"]]
+            assert any(u.startswith("actions/checkout@") for u in uses), name
+            assert any(u.startswith("actions/setup-python@") for u in uses), name
+
+
+class TestJobsReferenceRealThings:
+    def test_tests_job_runs_tier1_command(self, workflow):
+        commands = " && ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "PYTHONPATH=src" in commands
+        assert re.search(r"python -m pytest -x -q", commands)
+
+    def test_bench_job_script_exists_and_is_executable(self, workflow):
+        commands = " && ".join(_run_commands(workflow["jobs"]["bench"]))
+        match = re.search(r"bash (\S+\.sh)", commands)
+        assert match, "bench job must invoke a shell script"
+        script = REPO / match.group(1)
+        assert script.exists(), f"{script} referenced by ci.yml does not exist"
+        assert os.access(script, os.X_OK) or script.suffix == ".sh"
+
+    def test_bench_script_gates_perf_and_resume(self):
+        script = (REPO / "benchmarks" / "run_quick.sh").read_text()
+        assert "bench_hierarchize.py" in script  # the >=5x guard lives here
+        assert "--interrupt-after" in script  # the kill/resume smoke sweep
+        assert (REPO / "benchmarks" / "bench_hierarchize.py").exists()
+
+    def test_lint_job_runs_ruff_and_config_exists(self, workflow):
+        commands = " && ".join(_run_commands(workflow["jobs"]["lint"]))
+        assert "ruff check" in commands
+        assert "ruff format --check" in commands
+        assert "[tool.ruff]" in (REPO / "pyproject.toml").read_text()
+
+    def test_repo_respects_configured_line_length(self, workflow):
+        # the lint job enforces E501 at line-length 100 in CI; catch
+        # violations locally so the PR does not bounce there
+        config = (REPO / "pyproject.toml").read_text()
+        limit = int(re.search(r"line-length = (\d+)", config).group(1))
+        offenders = []
+        for folder in ("src", "tests", "examples", "benchmarks"):
+            for path in sorted((REPO / folder).rglob("*.py")):
+                for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                    if len(line) > limit and "noqa" not in line:  # ruff honours noqa
+                        offenders.append(f"{path.relative_to(REPO)}:{lineno} ({len(line)})")
+        assert not offenders, f"lines over {limit} chars: " + ", ".join(offenders[:10])

@@ -6,7 +6,6 @@ compressed kernels -> accuracy diagnostics -> forward simulation.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.time_iteration import TimeIterationConfig, TimeIterationSolver
 from repro.olg.calibration import small_calibration
