@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Quick verification + fit-path perf smoke: tier-1 tests followed by a
-# 2-scenario CLI smoke sweep (with a kill/resume leg) and the
-# hierarchization micro-benchmark, so scenario-engine and fit-path
-# regressions surface alongside correctness failures.
+# 2-scenario CLI smoke sweep (with a kill/resume leg) run against BOTH a
+# file:// store and an s3:// object-store URL (bundled in-process fake
+# server), and the hierarchization micro-benchmark, so scenario-engine,
+# storage-backend and fit-path regressions surface alongside correctness
+# failures.
 # Usage: benchmarks/run_quick.sh
+#   QUICK_BENCH_OUT=<path> overrides where the quick-bench JSON artifact
+#   lands (CI sets it to a persistent path and uploads it per run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,35 +15,41 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -q
 
-# --- scenario-engine smoke sweep through the CLI ------------------------- #
-export SCENARIO_STORE="$(mktemp -d)"
-trap 'rm -rf "$SCENARIO_STORE" "$SCENARIO_STORE-fresh"' EXIT
-python -m repro.scenarios run smoke --store "$SCENARIO_STORE" --dry-run
-# first pass is killed after one iteration (checkpoint survives) ...
-python -m repro.scenarios run smoke --store "$SCENARIO_STORE" --interrupt-after 1 || true
-# ... the resumable checkpoints show up in the resume listing ...
-python -m repro.scenarios resume --store "$SCENARIO_STORE"
-# ... and the identical re-invocation resumes from them and completes
-python -m repro.scenarios run smoke --store "$SCENARIO_STORE"
-python -m repro.scenarios show --store "$SCENARIO_STORE"
-# the two smoke entries differ only in tau_labor; diff must say so
-python -m repro.scenarios diff \
-    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[0].content_hash())')" \
-    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[1].content_hash())')" \
-    --store "$SCENARIO_STORE"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
 
-python - <<'EOF'
-import json, os, numpy as np
+# --- scenario-engine smoke sweep through the CLI ------------------------- #
+# The same sweep must work unchanged against any store URL; run it once on
+# the local-filesystem backend and once on the object-store backend.
+smoke_sweep() {
+    local store_url="$1" fresh_url="$2"
+    echo "=== smoke sweep against $store_url ==="
+    python -m repro.scenarios run smoke --store "$store_url" --dry-run
+    # first pass is killed after one iteration (checkpoint survives) ...
+    python -m repro.scenarios run smoke --store "$store_url" --interrupt-after 1 || true
+    # ... the resumable checkpoints show up in the resume listing ...
+    python -m repro.scenarios resume --store "$store_url"
+    # ... and the identical re-invocation resumes from them and completes
+    python -m repro.scenarios run smoke --store "$store_url"
+    python -m repro.scenarios show --store "$store_url"
+    # the two smoke entries differ only in tau_labor; diff must say so
+    python -m repro.scenarios diff \
+        "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[0].content_hash())')" \
+        "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[1].content_hash())')" \
+        --store "$store_url"
+
+    SCENARIO_STORE_URL="$store_url" SCENARIO_FRESH_URL="$fresh_url" python - <<'EOF'
+import os, numpy as np
 from repro.scenarios import ResultsStore, get_preset, run_suite
 
-store = ResultsStore(os.environ["SCENARIO_STORE"])
+store = ResultsStore.open(os.environ["SCENARIO_STORE_URL"])
 suite = get_preset("smoke")
 entries = [store.entry(s) for s in suite]
 assert all(e and e["status"] == "completed" for e in entries), entries
 assert all(e["resumed"] for e in entries), "smoke sweep should have resumed from checkpoints"
 
 # resumed results must match uninterrupted solves of the same specs
-fresh = ResultsStore(os.environ["SCENARIO_STORE"] + "-fresh")
+fresh = ResultsStore.open(os.environ["SCENARIO_FRESH_URL"])
 run_suite(suite, fresh)
 for spec in suite:
     a, b = store.load_result(spec), fresh.load_result(spec)
@@ -50,12 +60,25 @@ for spec in suite:
         for z in range(len(a.policy))
     )
     assert diff <= 1e-12, f"{spec.name}: resumed vs uninterrupted policy diff {diff}"
-print("scenario smoke OK: killed sweep resumed bit-for-bit and was skipped-by-hash safe")
+print(f"scenario smoke OK on {store.url}: killed sweep resumed bit-for-bit "
+      "and was skipped-by-hash safe")
 EOF
+}
 
-# write the quick sweep to a scratch file: the default --out would clobber
-# the canonical full-sweep BENCH_hierarchize.json artifact at the repo root
-export QUICK_BENCH_OUT="$SCENARIO_STORE/bench_quick.json"
+smoke_sweep "file://$SCRATCH/store" "file://$SCRATCH/store-fresh"
+smoke_sweep "s3://quick-bench/sweep?endpoint=$SCRATCH/object-store" \
+            "s3://quick-bench/sweep-fresh?endpoint=$SCRATCH/object-store"
+
+# --- cross-backend diff: file:// entry vs object-store entry ------------- #
+python -m repro.scenarios diff \
+    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[0].content_hash())')" \
+    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[1].content_hash())')" \
+    --store "file://$SCRATCH/store" \
+    --store-b "s3://quick-bench/sweep?endpoint=$SCRATCH/object-store"
+
+# write the quick sweep to a scratch file by default: the full-sweep
+# BENCH_hierarchize.json artifact at the repo root must not be clobbered
+export QUICK_BENCH_OUT="${QUICK_BENCH_OUT:-$SCRATCH/bench_quick.json}"
 python benchmarks/bench_hierarchize.py --quick --out "$QUICK_BENCH_OUT"
 
 python - <<'EOF'

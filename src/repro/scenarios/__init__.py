@@ -18,13 +18,19 @@ hand-wired single solves into managed scenario runs:
   :mod:`repro.parallel` executors, skipping scenarios whose spec hash is
   already stored and dispatching expected-longest scenarios first (prior
   wall times from the store; spec-size heuristics for unseen hashes);
-* :mod:`repro.scenarios.store` — sharded on-disk results store (one
-  atomically-committed ``entry.json`` per scenario hash plus an
-  append-only ``manifest.log``), safe for many concurrent writer
-  processes/hosts without file locks; provenance per entry (spec hash,
-  wall time, iteration records, library version);
-* :mod:`repro.scenarios.diff` — compare two store entries: calibration
-  and solver deltas with policy-surplus and aggregate differences.
+* :mod:`repro.scenarios.store` — sharded results store (one
+  atomically-committed ``entry.json`` per scenario hash plus a commit
+  log), safe for many concurrent writer processes/hosts without file
+  locks; provenance per entry (spec hash, wall time, iteration records,
+  library version);
+* :mod:`repro.scenarios.backends` — pluggable storage behind the store,
+  selected by URL scheme: ``file://`` (local directory, atomic rename +
+  ``O_APPEND`` log), ``mem://`` (in-process, fast tests) and ``s3://``
+  (S3-style object store; bundled in-process fake server, real service
+  via config) — ``ResultsStore.open("s3://bucket/prefix?endpoint=...")``;
+* :mod:`repro.scenarios.diff` — compare two store entries (possibly from
+  two different stores/backends): calibration and solver deltas with
+  policy-surplus and aggregate differences.
 
 Usage
 -----
@@ -40,7 +46,10 @@ Run a preset sweep from the command line (also installed as the
 
 Re-running the same command skips everything already in ``runs/`` (content
 hashing), so a crashed batch is simply restarted; an interrupted solve
-resumes from its checkpoint.
+resumes from its checkpoint.  ``--store`` also accepts store URLs — the
+same commands run unchanged against ``mem://scratch`` or
+``s3://bucket/prefix?endpoint=...`` stores (see
+:mod:`repro.scenarios.backends`).
 
 Programmatic use::
 
@@ -71,6 +80,16 @@ Checkpointing a standalone solve::
 See ``examples/scenario_sweep.py`` for an end-to-end walk-through.
 """
 
+from repro.scenarios.backends import (
+    BACKEND_SCHEMES,
+    FakeObjectServer,
+    LocalFSBackend,
+    MemoryBackend,
+    ObjectStoreBackend,
+    StorageBackend,
+    StoreURLError,
+    backend_from_url,
+)
 from repro.scenarios.checkpoint import (
     CheckpointState,
     InterruptingCheckpoint,
@@ -99,10 +118,18 @@ from repro.scenarios.spec import (
     get_preset,
     preset_names,
 )
-from repro.scenarios.store import ResultsStore
+from repro.scenarios.store import ResultsStore, ScenarioStore
 
 __all__ = [
     "EXPERIMENT_KINDS",
+    "BACKEND_SCHEMES",
+    "StorageBackend",
+    "StoreURLError",
+    "backend_from_url",
+    "LocalFSBackend",
+    "MemoryBackend",
+    "ObjectStoreBackend",
+    "FakeObjectServer",
     "ScenarioSpec",
     "ScenarioSuite",
     "get_preset",
@@ -118,6 +145,7 @@ __all__ = [
     "InterruptingCheckpoint",
     "SimulatedKill",
     "ResultsStore",
+    "ScenarioStore",
     "RunOutcome",
     "SuiteReport",
     "run_suite",

@@ -8,24 +8,43 @@ Installed as the ``repro-scenarios`` console script and runnable as
   (``--dry-run`` prints the expansion without solving anything);
 * ``show``   — print a store's committed entries;
 * ``diff``   — compare two store entries: calibration/solver deltas plus
-  policy-surplus and aggregate differences (``--json`` for machines);
+  policy-surplus and aggregate differences (``--json`` for machines;
+  ``--store-b`` resolves the second hash in a different store, possibly
+  on a different backend);
 * ``resume`` — list the resumable checkpoints sitting in a store.
+
+Every ``--store`` flag accepts either a local directory or a store URL
+(``file:///abs/path``, ``mem://name``, ``s3://bucket/prefix?endpoint=...``
+— see :mod:`repro.scenarios.backends`); the ``REPRO_STORE_URL``
+environment variable overrides the built-in default store target.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from repro.parallel.executor import EXECUTOR_KINDS
+from repro.scenarios.backends import StoreURLError
 from repro.scenarios.diff import diff_entries, format_diff
 from repro.scenarios.runner import SCHEDULE_KINDS, run_suite
 from repro.scenarios.spec import get_preset, preset_names
 from repro.scenarios.store import ResultsStore
 
 __all__ = ["main"]
+
+
+def _default_store() -> str:
+    return os.environ.get("REPRO_STORE_URL") or "scenario_store"
+
+
+_STORE_HELP = (
+    "results store: a directory, or a store URL "
+    "(file:///abs/path | mem://name | s3://bucket/prefix?endpoint=...)"
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,7 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a preset suite")
     run.add_argument("suite", help=f"preset name (one of: {', '.join(preset_names())})")
-    run.add_argument("--store", default="scenario_store", help="results store directory")
+    run.add_argument("--store", default=_default_store(), help=_STORE_HELP)
     run.add_argument(
         "--executor",
         default="serial",
@@ -95,14 +114,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     show = sub.add_parser("show", help="print a store's committed entries")
-    show.add_argument("--store", default="scenario_store")
+    show.add_argument("--store", default=_default_store(), help=_STORE_HELP)
 
     diff = sub.add_parser(
         "diff", help="compare two store entries (spec, aggregate and policy deltas)"
     )
     diff.add_argument("hash_a", metavar="HASH1", help="spec hash (or unique prefix) of entry A")
     diff.add_argument("hash_b", metavar="HASH2", help="spec hash (or unique prefix) of entry B")
-    diff.add_argument("--store", default="scenario_store")
+    diff.add_argument("--store", default=_default_store(), help=_STORE_HELP)
+    diff.add_argument(
+        "--store-b",
+        default=None,
+        metavar="STORE",
+        help="resolve HASH2 in a different store (any backend URL); "
+        "defaults to --store",
+    )
     diff.add_argument("--json", action="store_true", help="emit the diff as JSON")
     diff.add_argument(
         "--samples",
@@ -112,15 +138,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     resume = sub.add_parser("resume", help="list resumable checkpoints in a store")
-    resume.add_argument("--store", default="scenario_store")
+    resume.add_argument("--store", default=_default_store(), help=_STORE_HELP)
     resume.add_argument("--json", action="store_true", help="emit the listing as JSON")
     return parser
 
 
 def _cmd_diff(args) -> int:
     store = ResultsStore(args.store)
+    store_b = ResultsStore(args.store_b) if args.store_b else None
     try:
-        diff = diff_entries(store, args.hash_a, args.hash_b, samples=args.samples)
+        diff = diff_entries(
+            store, args.hash_a, args.hash_b, samples=args.samples, store_b=store_b
+        )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -138,9 +167,9 @@ def _cmd_resume(args) -> int:
         print(json.dumps(infos, indent=2, sort_keys=True))
         return 0
     if not infos:
-        print(f"store {store.root}: no resumable checkpoints")
+        print(f"store {store.url}: no resumable checkpoints")
         return 0
-    print(f"store {store.root}: {len(infos)} resumable checkpoint(s)")
+    print(f"store {store.url}: {len(infos)} resumable checkpoint(s)")
     print(f"  {'name':<32} {'hash':<12} {'status':<11} {'iters':>5}  last written")
     for info in infos:
         iters = info.get("iterations_done")
@@ -155,7 +184,15 @@ def _cmd_resume(args) -> int:
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except StoreURLError as exc:
+        # a typo'd --store (or REPRO_STORE_URL) is a usage error, not a crash
+        print(exc.args[0], file=sys.stderr)
+        return 2
 
+
+def _dispatch(args) -> int:
     if args.command == "list":
         for name in preset_names():
             suite = get_preset(name)
@@ -183,21 +220,27 @@ def main(argv=None) -> int:
         print(suite.describe())
         return 0
     store = ResultsStore(args.store)
-    report = run_suite(
-        suite,
-        store,
-        executor=args.executor,
-        num_workers=args.workers,
-        point_executor=args.point_executor,
-        point_workers=args.point_workers,
-        checkpoint_every=args.checkpoint_every,
-        force=args.force,
-        interrupt_after=args.interrupt_after,
-        schedule=args.schedule,
-        keep_last_n=args.keep_last_n,
-        keep_on_failure=args.keep_on_failure,
-        progress=print,
-    )
+    try:
+        report = run_suite(
+            suite,
+            store,
+            executor=args.executor,
+            num_workers=args.workers,
+            point_executor=args.point_executor,
+            point_workers=args.point_workers,
+            checkpoint_every=args.checkpoint_every,
+            force=args.force,
+            interrupt_after=args.interrupt_after,
+            schedule=args.schedule,
+            keep_last_n=args.keep_last_n,
+            keep_on_failure=args.keep_on_failure,
+            progress=print,
+        )
+    except ValueError as exc:
+        # dispatch-setup misconfiguration (e.g. a mem:// store with the
+        # processes executor) is a usage error, same as a bad store URL
+        print(exc.args[0], file=sys.stderr)
+        return 2
     print(report.summary())
     if not report.ok:
         # interrupted scenarios resume on the next identical invocation

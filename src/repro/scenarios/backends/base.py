@@ -1,0 +1,216 @@
+"""The storage-backend contract the results store is written against.
+
+A :class:`StorageBackend` is a flat, URL-addressed object namespace: keys
+are POSIX-style relative strings (``"<hash16>/entry.json"``), values are
+whole byte blobs.  The store only ever relies on four semantic guarantees,
+which every backend must provide and which
+``tests/scenarios/test_backend_contract.py`` asserts uniformly:
+
+1. **wholesale atomic put** — a reader never observes a partially written
+   object; concurrent writers of one key race whole objects and the last
+   one wins intact;
+2. **read-your-writes visibility** — after ``put`` returns, any backend
+   instance opened on the same URL (including in another process for
+   process-shared backends) sees the new bytes;
+3. **durable commit records** — :meth:`StorageBackend.append_commit`
+   never loses *other* writers' records to a concurrent append;
+4. **listing** reflects completed puts only (no temp artifacts).
+
+Notably *absent* from the contract is an atomic multi-writer append
+primitive: local filesystems have one (``O_APPEND``), object stores do
+not.  Backends without it inherit :class:`MergedCommitLog`, which turns
+every commit record into its own immutable log object under
+``commits/`` and merges them at read time — the lock-free multi-writer
+semantics of the sharded store survive on a plain put/get/list/delete
+API.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from abc import ABC, abstractmethod
+from typing import ClassVar
+
+__all__ = [
+    "StorageBackend",
+    "BlobRef",
+    "MergedCommitLog",
+    "COMMIT_LOG_PREFIX",
+    "validate_key",
+]
+
+#: key prefix of per-commit log objects for backends without atomic append
+COMMIT_LOG_PREFIX = "commits/"
+
+
+def validate_key(key: str) -> str:
+    """Enforce the contract's key grammar: relative POSIX paths only.
+
+    Every backend calls this on its object operations, so a key that is
+    valid on one backend is valid on all — and traversal segments
+    (``..``), absolute keys and empty segments can never escape a
+    filesystem-backed root (the in-memory backend rejects them too, for
+    uniformity rather than safety).
+    """
+    if not key or key.startswith("/") or any(
+        part in ("", ".", "..") for part in key.split("/")
+    ):
+        raise ValueError(
+            f"invalid storage key {key!r}: keys are relative POSIX paths "
+            "without empty, '.' or '..' segments"
+        )
+    return key
+
+
+class BlobRef:
+    """Handle to one object of a backend, duck-typing the slice of
+    :class:`pathlib.Path` the serializer and checkpoint hooks consume
+    (``exists``/``read_bytes``/``write_bytes``/``unlink``/``name``).
+
+    Deliberately *not* ``os.PathLike``: nothing downstream may assume the
+    object lives on a local filesystem.
+    """
+
+    __slots__ = ("backend", "key")
+
+    def __init__(self, backend: "StorageBackend", key: str) -> None:
+        self.backend = backend
+        self.key = key
+
+    @property
+    def name(self) -> str:
+        return self.key.rsplit("/", 1)[-1]
+
+    def exists(self) -> bool:
+        return self.backend.exists(self.key)
+
+    def read_bytes(self) -> bytes:
+        return self.backend.get(self.key)
+
+    def write_bytes(self, data: bytes) -> None:
+        self.backend.put(self.key, bytes(data))
+
+    def unlink(self, missing_ok: bool = False) -> None:
+        self.backend.delete(self.key, missing_ok=missing_ok)
+
+    def mtime(self) -> float:
+        return self.backend.mtime(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlobRef({self.backend.url!r}, {self.key!r})"
+
+    def __str__(self) -> str:
+        return f"{self.backend.url}/{self.key}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BlobRef)
+            and other.backend is self.backend
+            and other.key == self.key
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.backend), self.key))
+
+
+class StorageBackend(ABC):
+    """Abstract flat object store the :class:`ResultsStore` is built on."""
+
+    #: URL scheme this backend registers under (``file``/``mem``/``s3``)
+    scheme: ClassVar[str]
+    #: whether two processes opening the same URL share state (memory
+    #: backends do not; the runner refuses process executors for those)
+    process_shared: ClassVar[bool] = True
+
+    #: canonical round-trippable URL (safe to ship to worker processes)
+    url: str
+
+    # ------------------------------------------------------------------ #
+    # object operations
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Whole object bytes; raises :class:`FileNotFoundError` on a miss."""
+
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Atomically (re)write one whole object."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool:
+        """Whether the object exists."""
+
+    @abstractmethod
+    def delete(self, key: str, missing_ok: bool = True) -> bool:
+        """Remove one object; returns whether anything was removed.
+
+        ``missing_ok=False`` raises :class:`FileNotFoundError` on a miss.
+        """
+
+    @abstractmethod
+    def list(self, prefix: str = "") -> list:
+        """Sorted keys starting with ``prefix`` (completed puts only)."""
+
+    @abstractmethod
+    def mtime(self, key: str) -> float:
+        """Last-modified time of the object (seconds since the epoch)."""
+
+    # ------------------------------------------------------------------ #
+    # commit log
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def append_commit(self, record: dict) -> None:
+        """Durably append one commit record to the store's log."""
+
+    @abstractmethod
+    def commit_records(self) -> list:
+        """All commit records, oldest first (duplicates preserved)."""
+
+    @abstractmethod
+    def clear_commit_log(self) -> None:
+        """Drop the commit log (entries stay; ``reindex`` rebuilds it)."""
+
+    # ------------------------------------------------------------------ #
+    def ref(self, key: str) -> BlobRef:
+        return BlobRef(self, key)
+
+    @property
+    def local_root(self):
+        """The backing :class:`~pathlib.Path` for filesystem backends,
+        ``None`` for everything else (callers must use refs then)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.url!r})"
+
+
+class MergedCommitLog:
+    """Commit-log mixin for backends without an atomic append primitive.
+
+    Each :meth:`append_commit` writes one immutable object under
+    ``commits/`` whose name embeds a zero-padded wall-clock timestamp plus
+    a random suffix, so plain lexicographic key order is (approximate)
+    commit order and two racing writers can never clobber each other —
+    the merge happens at read time in :meth:`commit_records`, which is
+    exactly the path ``ResultsStore.index()`` exercises.
+    """
+
+    def append_commit(self, record: dict) -> None:
+        stamp = f"{time.time():017.6f}"
+        key = f"{COMMIT_LOG_PREFIX}{stamp}-{uuid.uuid4().hex[:12]}.json"
+        self.put(key, json.dumps(record, sort_keys=True).encode("utf-8"))
+
+    def commit_records(self) -> list:
+        records = []
+        for key in self.list(COMMIT_LOG_PREFIX):
+            try:
+                records.append(json.loads(self.get(key)))
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue  # racing compaction/GC, or a foreign object
+        return records
+
+    def clear_commit_log(self) -> None:
+        for key in self.list(COMMIT_LOG_PREFIX):
+            self.delete(key, missing_ok=True)

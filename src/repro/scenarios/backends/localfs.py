@@ -1,0 +1,96 @@
+"""Local-filesystem storage backend (the store's original on-disk layout).
+
+Keys map 1:1 onto files under the root directory; puts go through the
+shared unique-temp-name + ``os.replace`` machinery, and the commit log is
+the classic append-only ``manifest.log`` written with single ``O_APPEND``
+writes (atomic across processes on local POSIX filesystems), so the
+on-disk layout produced by earlier versions of the store is preserved
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from pathlib import Path, PurePosixPath
+
+from repro.scenarios import serialize
+from repro.scenarios.backends.base import StorageBackend, validate_key
+
+__all__ = ["LocalFSBackend"]
+
+#: name of the append-only JSONL commit log on disk
+MANIFEST_LOG = "manifest.log"
+
+
+class LocalFSBackend(StorageBackend):
+    """Directory-backed storage: atomic rename puts + ``O_APPEND`` log."""
+
+    scheme = "file"
+    process_shared = True
+
+    def __init__(self, root) -> None:
+        self.root = Path(root).absolute()
+        self.root.mkdir(parents=True, exist_ok=True)
+        # percent-encode so the URL survives the unquote in
+        # backend_from_url even for paths containing '#', '?' or '%xx' —
+        # a worker reopening a non-round-tripping URL would silently
+        # commit its results into a *different* directory
+        self.url = f"file://{urllib.parse.quote(self.root.as_posix())}"
+
+    @property
+    def local_root(self) -> Path:
+        return self.root
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        # the shared key grammar rejects traversal segments outright —
+        # comparing resolved paths would be too late (Path.absolute()
+        # does not normalize '..' away)
+        return self.root / PurePosixPath(validate_key(key))
+
+    def get(self, key: str) -> bytes:
+        return self._path(key).read_bytes()
+
+    def put(self, key: str, data: bytes) -> None:
+        serialize.atomic_write(self._path(key), lambda fh: fh.write(bytes(data)))
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def delete(self, key: str, missing_ok: bool = True) -> bool:
+        try:
+            self._path(key).unlink()
+            return True
+        except FileNotFoundError:
+            if not missing_ok:
+                raise
+            return False
+
+    def list(self, prefix: str = "") -> list:
+        keys = []
+        for path in self.root.rglob("*"):
+            if not path.is_file() or path.name.endswith(".tmp"):
+                continue  # in-flight atomic_write temp files are not objects
+            key = path.relative_to(self.root).as_posix()
+            if key.startswith(prefix):
+                keys.append(key)
+        return sorted(keys)
+
+    def mtime(self, key: str) -> float:
+        return self._path(key).stat().st_mtime
+
+    # ------------------------------------------------------------------ #
+    # commit log: true atomic append
+    # ------------------------------------------------------------------ #
+    @property
+    def log_path(self) -> Path:
+        return self.root / MANIFEST_LOG
+
+    def append_commit(self, record: dict) -> None:
+        serialize.append_jsonl(self.log_path, record)
+
+    def commit_records(self) -> list:
+        return serialize.read_jsonl(self.log_path)
+
+    def clear_commit_log(self) -> None:
+        self.log_path.unlink(missing_ok=True)

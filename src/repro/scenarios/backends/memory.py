@@ -1,0 +1,104 @@
+"""In-memory storage backend for fast tests.
+
+``mem://<namespace>`` stores live in a process-global registry: every
+:class:`MemoryBackend` (and therefore every ``ResultsStore``) opened on
+the same URL in one process shares one namespace, so thread-pool writers
+genuinely race on shared state.  The backend deliberately has *no* atomic
+append primitive — it inherits the :class:`MergedCommitLog` per-commit
+log objects, so fast tests exercise exactly the merged-log ``index()``
+path the object-store backend relies on.
+
+State never leaves the process: a forked/spawned worker opening the same
+URL sees an empty namespace, which is why ``process_shared`` is False and
+the scenario runner refuses process executors for ``mem://`` stores.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.scenarios.backends.base import MergedCommitLog, StorageBackend, validate_key
+
+__all__ = ["MemoryBackend"]
+
+
+class _Namespace:
+    """One shared ``mem://`` keyspace: key -> (bytes, mtime)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.objects: dict = {}
+        self._clock = 0.0
+
+    def now(self) -> float:
+        # strictly increasing so newest-first orderings (checkpoint GC)
+        # are deterministic even for back-to-back writes
+        self._clock = max(self._clock + 1e-6, time.time())
+        return self._clock
+
+
+_REGISTRY: dict = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+class MemoryBackend(MergedCommitLog, StorageBackend):
+    """Dictionary-backed storage shared per namespace within one process."""
+
+    scheme = "mem"
+    process_shared = False
+
+    def __init__(self, namespace: str) -> None:
+        if not namespace:
+            raise ValueError("mem:// store URLs need a namespace (mem://<name>)")
+        self.namespace = namespace
+        self.url = f"mem://{namespace}"
+        with _REGISTRY_LOCK:
+            self._ns = _REGISTRY.setdefault(namespace, _Namespace())
+
+    @classmethod
+    def drop(cls, namespace: str) -> None:
+        """Forget a namespace entirely (test cleanup)."""
+        with _REGISTRY_LOCK:
+            _REGISTRY.pop(namespace, None)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> bytes:
+        validate_key(key)
+        with self._ns.lock:
+            try:
+                return self._ns.objects[key][0]
+            except KeyError:
+                raise FileNotFoundError(f"{self.url}/{key}") from None
+
+    def put(self, key: str, data: bytes) -> None:
+        validate_key(key)
+        data = bytes(data)  # snapshot: callers may mutate their buffer later
+        with self._ns.lock:
+            self._ns.objects[key] = (data, self._ns.now())
+
+    def exists(self, key: str) -> bool:
+        validate_key(key)
+        with self._ns.lock:
+            return key in self._ns.objects
+
+    def delete(self, key: str, missing_ok: bool = True) -> bool:
+        validate_key(key)
+        with self._ns.lock:
+            if self._ns.objects.pop(key, None) is not None:
+                return True
+        if not missing_ok:
+            raise FileNotFoundError(f"{self.url}/{key}")
+        return False
+
+    def list(self, prefix: str = "") -> list:
+        with self._ns.lock:
+            return sorted(k for k in self._ns.objects if k.startswith(prefix))
+
+    def mtime(self, key: str) -> float:
+        validate_key(key)
+        with self._ns.lock:
+            try:
+                return self._ns.objects[key][1]
+            except KeyError:
+                raise FileNotFoundError(f"{self.url}/{key}") from None

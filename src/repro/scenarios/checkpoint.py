@@ -54,8 +54,11 @@ class SolveCheckpoint:
     Parameters
     ----------
     path
-        The checkpoint file (npz).  Written atomically; a partial write
-        never clobbers the previous checkpoint.
+        The checkpoint target (npz): a filesystem path, or a storage
+        backend :class:`~repro.scenarios.backends.BlobRef` (what the
+        scenario runner passes, so checkpoints land on whichever backend
+        the store URL selected).  Written atomically either way; a
+        partial write never clobbers the previous checkpoint.
     every
         Persist every ``every``-th iteration (the final state is always
         persisted regardless).
@@ -77,7 +80,7 @@ class SolveCheckpoint:
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
-        self.path = Path(path)
+        self.path = path if serialize.is_blob_target(path) else Path(path)
         self.every = every
         self.config = config
         self._last_write: tuple | None = None

@@ -17,6 +17,11 @@ did it do to the solution?* — in three layers:
 Everything is computed into one plain dictionary
 (:func:`diff_entries`) that serializes as the CLI's ``--json`` output;
 :func:`format_diff` renders the human-readable report.
+
+The two entries may live in *different stores on different storage
+backends* (``--store-b`` in the CLI / ``store_b=`` here): comparing a
+local ``file://`` run against an archived ``s3://`` entry is the
+storage-backend redesign's reform-vs-baseline workflow.
 """
 
 from __future__ import annotations
@@ -60,9 +65,17 @@ def _aggregates(entry_a: dict, entry_b: dict) -> dict:
     return out
 
 
-def _policy_diff(store: ResultsStore, spec_a, hash_a: str, hash_b: str, samples: int, rng) -> dict:
-    result_a = store.load_result(hash_a)
-    result_b = store.load_result(hash_b)
+def _policy_diff(
+    store_a: ResultsStore,
+    store_b: ResultsStore,
+    spec_a,
+    hash_a: str,
+    hash_b: str,
+    samples: int,
+    rng,
+) -> dict:
+    result_a = store_a.load_result(hash_a)
+    result_b = store_b.load_result(hash_b)
     if result_a.policy.state_dim != result_b.policy.state_dim:
         return {
             "skipped": (
@@ -111,22 +124,33 @@ def _policy_diff(store: ResultsStore, spec_a, hash_a: str, hash_b: str, samples:
     }
 
 
-def diff_entries(store: ResultsStore, ref_a: str, ref_b: str, samples: int = 64, rng=0) -> dict:
+def diff_entries(
+    store: ResultsStore,
+    ref_a: str,
+    ref_b: str,
+    samples: int = 64,
+    rng=0,
+    store_b: ResultsStore | None = None,
+) -> dict:
     """Full diff of two store entries (referenced by hash or unique prefix).
 
-    Raises ``KeyError`` for unknown/ambiguous hashes.  Policy comparison
-    requires both entries to be *completed solves*; otherwise the
-    ``policy`` section carries a ``skipped`` reason instead.
+    ``store_b`` resolves the second reference in a *different* store —
+    possibly on a different storage backend (a local ``file://`` run
+    against an ``s3://`` archive is the motivating case); it defaults to
+    ``store``.  Raises ``KeyError`` for unknown/ambiguous hashes.  Policy
+    comparison requires both entries to be *completed solves*; otherwise
+    the ``policy`` section carries a ``skipped`` reason instead.
     """
+    store_b = store_b if store_b is not None else store
     hash_a = store.resolve_hash(ref_a)
-    hash_b = store.resolve_hash(ref_b)
-    entry_a, entry_b = store.entry(hash_a), store.entry(hash_b)
+    hash_b = store_b.resolve_hash(ref_b)
+    entry_a, entry_b = store.entry(hash_a), store_b.entry(hash_b)
     if entry_a is None:
         raise KeyError(f"no committed entry for {hash_a[:16]}")
     if entry_b is None:
         raise KeyError(f"no committed entry for {hash_b[:16]}")
     try:
-        spec_a, spec_b = store.load_spec(hash_a), store.load_spec(hash_b)
+        spec_a, spec_b = store.load_spec(hash_a), store_b.load_spec(hash_b)
     except FileNotFoundError as exc:
         # only possible for failure entries migrated from a legacy store;
         # workers now save the spec before executing anything
@@ -139,10 +163,13 @@ def diff_entries(store: ResultsStore, ref_a: str, ref_b: str, samples: int = 64,
         "params": _dict_diff(spec_a.params, spec_b.params),
         "aggregates": _aggregates(entry_a, entry_b),
     }
+    if store_b is not store:
+        out["a"]["store"] = store.url
+        out["b"]["store"] = store_b.url
     both_solves = spec_a.kind == "solve" and spec_b.kind == "solve"
-    both_complete = store.entry_is_complete(entry_a) and store.entry_is_complete(entry_b)
+    both_complete = store.entry_is_complete(entry_a) and store_b.entry_is_complete(entry_b)
     if both_solves and both_complete:
-        out["policy"] = _policy_diff(store, spec_a, hash_a, hash_b, samples, rng)
+        out["policy"] = _policy_diff(store, store_b, spec_a, hash_a, hash_b, samples, rng)
     else:
         reason = "kinds are not both 'solve'" if not both_solves else "not both completed"
         out["policy"] = {"skipped": reason}
@@ -165,8 +192,10 @@ def format_diff(diff: dict) -> str:
     """Human-readable rendering of a :func:`diff_entries` dictionary."""
     a, b = diff["a"], diff["b"]
     lines = [
-        f"A: {a['name']} [{a['spec_hash'][:12]}] ({a['kind']})",
-        f"B: {b['name']} [{b['spec_hash'][:12]}] ({b['kind']})",
+        f"A: {a['name']} [{a['spec_hash'][:12]}] ({a['kind']})"
+        + (f" @ {a['store']}" if "store" in a else ""),
+        f"B: {b['name']} [{b['spec_hash'][:12]}] ({b['kind']})"
+        + (f" @ {b['store']}" if "store" in b else ""),
     ]
     _format_dict_diff("calibration", diff["calibration"], lines)
     _format_dict_diff("solver", diff["solver"], lines)

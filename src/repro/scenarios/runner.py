@@ -10,9 +10,14 @@ plain dictionaries and the worker entry point is a module-level function,
 so the process-pool backend works out of the box.
 
 The sharded store (layout v2) is multi-writer safe, so each worker
-*commits its own manifest entry* the moment its result files are on disk:
+*commits its own manifest entry* the moment its result files are stored:
 a worker that finishes makes its work durable without depending on the
 parent surviving, and several hosts can fill one store concurrently.
+Workers receive the store's canonical *URL* (not a path) and reopen it
+through whatever storage backend the scheme selects, so batches run
+unchanged against ``file://``, ``mem://`` and ``s3://`` stores — except
+that process executors are refused for in-process-only backends
+(``mem://``), whose state a worker process could not share.
 Solve scenarios checkpoint through
 :class:`~repro.scenarios.checkpoint.SolveCheckpoint` into the store, which
 makes every scenario of a batch individually resumable: re-run the same
@@ -160,7 +165,7 @@ def _execute_task(task: dict) -> dict:
     barrier.
     """
     spec = ScenarioSpec.from_dict(task["spec"])
-    store = ResultsStore(task["store_root"])
+    store = ResultsStore.open(task["store_url"])
     # persist the spec up front so even interrupted/failed entries can be
     # inspected and diffed (spec deltas explain *why* a variant failed)
     store.save_spec(spec)
@@ -190,7 +195,7 @@ def _execute_task(task: dict) -> dict:
         # safe to drop only now that the committed entry points at the
         # result; missing_ok because a concurrent same-hash writer or
         # another batch's GC may have removed it first
-        store.checkpoint_path(spec).unlink(missing_ok=True)
+        store.checkpoint_ref(spec).unlink(missing_ok=True)
     return entry
 
 
@@ -205,8 +210,9 @@ def _execute_solve(spec: ScenarioSpec, store: ResultsStore, task: dict, t0: floa
     from repro.core.time_iteration import TimeIterationSolver
 
     solver = TimeIterationSolver(model, config, executor=point_executor)
-    ckpt_path = store.checkpoint_path(spec)
-    ckpt_path.parent.mkdir(parents=True, exist_ok=True)
+    # a BlobRef: checkpoints flow through the store's backend, so kill/
+    # resume works identically for file://, mem:// and s3:// stores
+    ckpt_path = store.checkpoint_ref(spec)
     interrupt_after = task.get("interrupt_after")
     if interrupt_after:
         checkpoint = InterruptingCheckpoint(
@@ -276,6 +282,13 @@ def run_suite(
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}")
     if schedule not in SCHEDULE_KINDS:
         raise ValueError(f"unknown schedule {schedule!r}; expected one of {SCHEDULE_KINDS}")
+    if executor == "processes" and not store.backend.process_shared:
+        # a worker process would open the URL onto its own empty state and
+        # its committed results would silently vanish with the process
+        raise ValueError(
+            f"store {store.url} is in-process only; the 'processes' "
+            "executor needs a process-shared backend (file:// or s3://)"
+        )
     say = progress if progress is not None else (lambda line: None)
     report = SuiteReport(suite.name)
     pending = []
@@ -313,7 +326,7 @@ def run_suite(
     tasks = [
         {
             "spec": spec.to_dict(),
-            "store_root": str(store.root),
+            "store_url": store.url,
             "checkpoint_every": int(checkpoint_every),
             "point_executor": point_executor,
             "point_workers": int(point_workers),

@@ -22,6 +22,7 @@ which is what makes checkpoint/resume bit-for-bit.
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 import os
 import tempfile
@@ -43,6 +44,7 @@ __all__ = [
     "atomic_write",
     "append_jsonl",
     "read_jsonl",
+    "is_blob_target",
     "save_grid",
     "load_grid",
     "save_policy_set",
@@ -56,6 +58,23 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
+
+
+def is_blob_target(target) -> bool:
+    """Whether a save/load target is a storage-backend blob handle.
+
+    Every writer/reader here accepts either a filesystem path or a
+    :class:`repro.scenarios.backends.BlobRef`-shaped object (anything
+    non-path exposing ``read_bytes``/``write_bytes``), so checkpoints and
+    results flow through whichever storage backend the store selected.
+    Duck-typed rather than an isinstance check to keep this module free
+    of a backends import (backends build on the atomic writers below).
+    """
+    return (
+        not isinstance(target, (str, os.PathLike))
+        and hasattr(target, "read_bytes")
+        and hasattr(target, "write_bytes")
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -129,17 +148,24 @@ def read_jsonl(path) -> list:
     return records
 
 
-def _atomic_savez(path: Path, arrays: dict, meta: dict) -> None:
+def _atomic_savez(path, arrays: dict, meta: dict) -> None:
     meta = dict(meta)
     meta.setdefault("format_version", FORMAT_VERSION)
-    atomic_write(
-        path,
-        lambda fh: np.savez_compressed(fh, __meta__=np.array(json.dumps(meta)), **arrays),
-    )
+
+    def write(fh):
+        np.savez_compressed(fh, __meta__=np.array(json.dumps(meta)), **arrays)
+
+    if is_blob_target(path):
+        buf = io.BytesIO()
+        write(buf)
+        path.write_bytes(buf.getvalue())  # the backend's put is the atomic step
+    else:
+        atomic_write(path, write)
 
 
-def _load_npz(path: Path) -> tuple:
-    with np.load(Path(path), allow_pickle=False) as data:
+def _load_npz(path) -> tuple:
+    source = io.BytesIO(path.read_bytes()) if is_blob_target(path) else Path(path)
+    with np.load(source, allow_pickle=False) as data:
         arrays = {k: data[k] for k in data.files if k != "__meta__"}
         meta = json.loads(str(data["__meta__"]))
     version = meta.get("format_version")
@@ -153,12 +179,12 @@ def _load_npz(path: Path) -> tuple:
 # --------------------------------------------------------------------------- #
 def save_grid(path, grid: SparseGrid) -> None:
     """Write a grid to ``path`` (npz; derived caches are dropped)."""
-    _atomic_savez(Path(path), grid.to_arrays(), {"payload": "grid", "dim": grid.dim})
+    _atomic_savez(path, grid.to_arrays(), {"payload": "grid", "dim": grid.dim})
 
 
 def load_grid(path) -> SparseGrid:
     """Read a grid written by :func:`save_grid`."""
-    arrays, meta = _load_npz(Path(path))
+    arrays, meta = _load_npz(path)
     if meta.get("payload") != "grid":
         raise ValueError(f"{path} does not contain a grid payload")
     return SparseGrid.from_arrays(arrays["levels"], arrays["indices"])
@@ -224,12 +250,12 @@ def _policy_set_from_payload(arrays: dict, meta: dict) -> PolicySet:
 def save_policy_set(path, policy: PolicySet) -> None:
     """Write a :class:`PolicySet` to ``path`` (single npz, shared grids kept shared)."""
     arrays, meta = _policy_set_payload(policy)
-    _atomic_savez(Path(path), arrays, meta)
+    _atomic_savez(path, arrays, meta)
 
 
 def load_policy_set(path) -> PolicySet:
     """Read a policy set written by :func:`save_policy_set`."""
-    arrays, meta = _load_npz(Path(path))
+    arrays, meta = _load_npz(path)
     if meta.get("payload") != "policy_set":
         raise ValueError(f"{path} does not contain a policy-set payload")
     return _policy_set_from_payload(arrays, meta)
@@ -272,12 +298,12 @@ def save_result(path, result: TimeIterationResult, extra_meta: dict | None = Non
     )
     if extra_meta:
         meta["extra"] = dict(extra_meta)
-    _atomic_savez(Path(path), arrays, meta)
+    _atomic_savez(path, arrays, meta)
 
 
 def load_result(path) -> TimeIterationResult:
     """Read a result written by :func:`save_result`."""
-    arrays, meta = _load_npz(Path(path))
+    arrays, meta = _load_npz(path)
     if meta.get("payload") != "result":
         raise ValueError(f"{path} does not contain a result payload")
     return TimeIterationResult(

@@ -1,37 +1,46 @@
 """Sharded, concurrent-safe, provenance-tracked results store (layout v2).
 
-Layout::
+Storage is pluggable: every byte the store reads or writes flows through a
+:class:`~repro.scenarios.backends.StorageBackend` selected by URL scheme —
+``ResultsStore.open("file:///runs")`` keeps the original on-disk layout,
+``"mem://name"`` holds everything in process memory for fast tests, and
+``"s3://bucket/prefix?endpoint=..."`` speaks an S3-style put/get/list/delete
+API (bundled in-process fake server, or a real service via configuration).
+Constructing ``ResultsStore("runs")`` with a plain path remains equivalent
+to the ``file://`` form.
 
-    <root>/
-      manifest.log                # append-only JSONL: one line per commit
-      manifest.v1.json            # parked copy of a migrated legacy manifest
-      <hash16>/                   # one directory per scenario content hash
-        entry.json                # the manifest entry, committed atomically
-        spec.json                 # the full ScenarioSpec that produced it
-        result.npz                # solve scenarios: serialized TimeIterationResult
-        payload.json              # experiment scenarios: JSON result payload
-        checkpoint.npz            # transient; survives per the GC policy
+Key layout (identical across backends)::
 
-Concurrency model — no file locks anywhere:
+    manifest.log                # file://: append-only JSONL, one line per commit
+    commits/<stamp>-<rand>.json # mem://, s3://: one immutable object per commit
+    manifest.v1.json            # parked copy of a migrated legacy manifest
+    <hash16>/                   # one key prefix per scenario content hash
+      entry.json                # the manifest entry, committed atomically
+      spec.json                 # the full ScenarioSpec that produced it
+      result.npz                # solve scenarios: serialized TimeIterationResult
+      payload.json              # experiment scenarios: JSON result payload
+      checkpoint.npz            # transient; survives per the GC policy
+
+Concurrency model — no locks anywhere:
 
 * The authoritative record for a scenario is its ``entry.json``, written
-  atomically (unique temp name + ``os.replace``).  Entries are keyed by the
-  spec *content hash*, so two writers racing on the same hash are writing
-  the same computation's result and last-writer-wins is safe; writers on
-  different hashes touch disjoint directories.
-* ``manifest.log`` exists only for cheap discovery (which hashes live
-  here, plus the wall times the suite scheduler feeds on).  Each commit
-  appends one compact JSON line with a single ``O_APPEND`` write, which
-  local POSIX filesystems keep whole across processes (NFS does not
-  guarantee this — there the log degrades to a best-effort cache).  The
-  log may contain duplicates (re-runs) and, after a crash between entry
-  write and log append or a torn network-filesystem append, may miss a
-  hash; :meth:`ResultsStore.reindex` (also retried automatically on hash
-  lookup misses) repairs that from the ``entry.json`` files, and the
-  index rebuild always re-reads ``entry.json`` per hash, so the log is
-  never trusted for entry content.
+  with the backend's wholesale-atomic put.  Entries are keyed by the spec
+  *content hash*, so two writers racing on the same hash are writing the
+  same computation's result and last-writer-wins is safe; writers on
+  different hashes touch disjoint keys.
+* The commit log exists only for cheap discovery (which hashes live here,
+  plus the wall times the suite scheduler feeds on).  On local
+  filesystems it is the classic ``manifest.log`` ``O_APPEND`` JSONL; on
+  backends without an atomic append primitive every commit is its own
+  immutable ``commits/*`` object and the log is *merged at read time* —
+  the multi-writer semantics survive on a plain object API.  Either way
+  the log may contain duplicates (re-runs) and may miss a hash after a
+  crash between entry write and log append; :meth:`ResultsStore.reindex`
+  (also retried automatically on hash lookup misses) repairs that from
+  the ``entry.json`` objects, and the index rebuild always re-reads
+  ``entry.json`` per hash, so the log is never trusted for entry content.
 * Commits are status-aware: a failed/interrupted entry never overwrites
-  a completed entry whose result file is still readable, so a racing
+  a completed entry whose result object is still present, so a racing
   writer hitting a transient error cannot hide finished work.
 
 A legacy v1 store (monolithic ``manifest.json`` rewritten per commit) is
@@ -52,33 +61,30 @@ import json
 import platform
 import time
 from datetime import datetime, timezone
-from pathlib import Path
+from pathlib import Path, PurePosixPath
 
 import numpy as np
 
 from repro.core.time_iteration import TimeIterationResult
 from repro.scenarios import serialize
+from repro.scenarios.backends import (
+    BlobRef,
+    LocalFSBackend,
+    StorageBackend,
+    backend_from_url,
+    is_store_url,
+)
 from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["ResultsStore"]
+__all__ = ["ResultsStore", "ScenarioStore"]
 
 _STORE_LAYOUT_VERSION = 2
 _LEGACY_MANIFEST_VERSION = 1
 _DIR_HASH_CHARS = 16
 
-#: keys of an entry copied onto its manifest.log line (enough for discovery
+#: keys of an entry copied onto its commit-log record (enough for discovery
 #: and wall-time-aware scheduling without opening any entry.json)
 _LOG_FIELDS = ("spec_hash", "name", "kind", "status", "wall_time", "created_at_unix")
-
-
-def _atomic_json(path: Path, data) -> None:
-    """Write JSON atomically (shared unique-temp-name + replace machinery)."""
-
-    def write(fh):
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-
-    serialize.atomic_write(path, write, text=True)
 
 
 def _provenance() -> dict:
@@ -94,20 +100,47 @@ def _provenance() -> dict:
     }
 
 
+def _json_bytes(data) -> bytes:
+    return (json.dumps(data, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
 class ResultsStore:
-    """Directory-backed scenario results, sharded one directory per hash."""
+    """Scenario results sharded one key prefix per hash, on any backend."""
 
     MANIFEST_LOG = "manifest.log"
     LEGACY_MANIFEST = "manifest.json"
     ENTRY_FILE = "entry.json"
 
     def __init__(self, root) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Open a store on a backend, URL, or plain local path.
+
+        ``root`` may be a :class:`StorageBackend` instance, a store URL
+        (``file://``/``mem://``/``s3://`` — see
+        :func:`repro.scenarios.backends.backend_from_url`) or a local
+        filesystem path (the historical form, equivalent to ``file://``).
+        """
+        if isinstance(root, StorageBackend):
+            self.backend = root
+        elif is_store_url(root):
+            self.backend = backend_from_url(root)
+        else:
+            self.backend = LocalFSBackend(root)
+        #: backing directory for file:// stores, ``None`` otherwise
+        self.root = self.backend.local_root
         self._migrate_legacy_manifest()
 
+    @classmethod
+    def open(cls, url) -> "ResultsStore":
+        """Open a store from a URL (or plain path); see :meth:`__init__`."""
+        return cls(url)
+
+    @property
+    def url(self) -> str:
+        """Canonical store URL (round-trips through :meth:`open`)."""
+        return self.backend.url
+
     # ------------------------------------------------------------------ #
-    # paths
+    # keys and refs (backend-agnostic)
     # ------------------------------------------------------------------ #
     @staticmethod
     def _hash_of(spec_or_hash) -> str:
@@ -115,27 +148,71 @@ class ResultsStore:
             return spec_or_hash.content_hash()
         return str(spec_or_hash)
 
+    def scenario_key(self, spec_or_hash) -> str:
+        return self._hash_of(spec_or_hash)[:_DIR_HASH_CHARS]
+
+    def entry_key(self, spec_or_hash) -> str:
+        return f"{self.scenario_key(spec_or_hash)}/{self.ENTRY_FILE}"
+
+    def result_key(self, spec_or_hash) -> str:
+        return f"{self.scenario_key(spec_or_hash)}/result.npz"
+
+    def payload_key(self, spec_or_hash) -> str:
+        return f"{self.scenario_key(spec_or_hash)}/payload.json"
+
+    def checkpoint_key(self, spec_or_hash) -> str:
+        return f"{self.scenario_key(spec_or_hash)}/checkpoint.npz"
+
+    def spec_key(self, spec_or_hash) -> str:
+        return f"{self.scenario_key(spec_or_hash)}/spec.json"
+
+    def entry_ref(self, spec_or_hash) -> BlobRef:
+        return self.backend.ref(self.entry_key(spec_or_hash))
+
+    def result_ref(self, spec_or_hash) -> BlobRef:
+        return self.backend.ref(self.result_key(spec_or_hash))
+
+    def payload_ref(self, spec_or_hash) -> BlobRef:
+        return self.backend.ref(self.payload_key(spec_or_hash))
+
+    def checkpoint_ref(self, spec_or_hash) -> BlobRef:
+        return self.backend.ref(self.checkpoint_key(spec_or_hash))
+
+    def spec_ref(self, spec_or_hash) -> BlobRef:
+        return self.backend.ref(self.spec_key(spec_or_hash))
+
+    # ------------------------------------------------------------------ #
+    # path accessors (file:// stores only; kept for local tooling)
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        if self.root is None:
+            raise TypeError(
+                f"store {self.url} has no filesystem paths; use the "
+                "*_ref/*_key accessors instead"
+            )
+        return self.root / key
+
     def scenario_dir(self, spec_or_hash) -> Path:
-        return self.root / self._hash_of(spec_or_hash)[:_DIR_HASH_CHARS]
+        return self._path(self.scenario_key(spec_or_hash))
 
     def entry_path(self, spec_or_hash) -> Path:
-        return self.scenario_dir(spec_or_hash) / self.ENTRY_FILE
+        return self._path(self.entry_key(spec_or_hash))
 
     def result_path(self, spec_or_hash) -> Path:
-        return self.scenario_dir(spec_or_hash) / "result.npz"
+        return self._path(self.result_key(spec_or_hash))
 
     def payload_path(self, spec_or_hash) -> Path:
-        return self.scenario_dir(spec_or_hash) / "payload.json"
+        return self._path(self.payload_key(spec_or_hash))
 
     def checkpoint_path(self, spec_or_hash) -> Path:
-        return self.scenario_dir(spec_or_hash) / "checkpoint.npz"
+        return self._path(self.checkpoint_key(spec_or_hash))
 
     def spec_path(self, spec_or_hash) -> Path:
-        return self.scenario_dir(spec_or_hash) / "spec.json"
+        return self._path(self.spec_key(spec_or_hash))
 
     @property
     def log_path(self) -> Path:
-        return self.root / self.MANIFEST_LOG
+        return self._path(self.MANIFEST_LOG)
 
     # ------------------------------------------------------------------ #
     # legacy migration
@@ -143,34 +220,33 @@ class ResultsStore:
     def _migrate_legacy_manifest(self) -> None:
         """Absorb a v1 monolithic ``manifest.json`` into the sharded layout.
 
-        Every legacy entry is re-committed (entry.json + log line; both
-        idempotent, last-writer-wins), then the legacy file is parked as
-        ``manifest.v1.json``.  Crash mid-way and the next open simply
-        migrates again; two processes migrating concurrently both write
-        identical entries and the loser of the final rename sees the file
-        already gone.
+        Every legacy entry is re-committed (entry object + log record;
+        both idempotent, last-writer-wins), then the legacy manifest is
+        parked as ``manifest.v1.json``.  Crash mid-way and the next open
+        simply migrates again; two processes migrating concurrently both
+        write identical entries and the loser's delete is a no-op.
         """
-        legacy = self.root / self.LEGACY_MANIFEST
-        if not legacy.exists():
+        try:
+            raw = self.backend.get(self.LEGACY_MANIFEST)
+        except FileNotFoundError:
             return
-        with open(legacy, "r", encoding="utf-8") as fh:
-            manifest = json.load(fh)
+        manifest = json.loads(raw)
         if manifest.get("version") != _LEGACY_MANIFEST_VERSION:
-            raise ValueError(f"unsupported legacy manifest version in {legacy}")
+            raise ValueError(
+                f"unsupported legacy manifest version in {self.url}/{self.LEGACY_MANIFEST}"
+            )
         for entry in manifest.get("entries", {}).values():
             self.commit_entry(entry)
-        try:
-            legacy.rename(self.root / "manifest.v1.json")
-        except FileNotFoundError:  # a concurrent opener migrated first
-            pass
+        self.backend.put("manifest.v1.json", raw)
+        self.backend.delete(self.LEGACY_MANIFEST, missing_ok=True)
 
     # ------------------------------------------------------------------ #
     # committing and indexing entries
     # ------------------------------------------------------------------ #
     def commit_entry(self, entry: dict) -> dict:
-        """Commit one entry: atomic ``entry.json`` write + one log append.
+        """Commit one entry: atomic ``entry.json`` put + one log append.
 
-        Safe to call from any number of processes; per hash the last
+        Safe to call from any number of writers; per hash the last
         writer wins wholesale (entries are content-addressed, so
         concurrent writers of one hash carry the same computation).
         """
@@ -184,10 +260,10 @@ class ResultsStore:
                 # racing second host hitting a transient error) must not
                 # hide a completed entry whose result is still readable
                 return existing
-        entry.setdefault("directory", self.scenario_dir(entry["spec_hash"]).name)
-        _atomic_json(self.entry_path(entry["spec_hash"]), entry)
-        serialize.append_jsonl(
-            self.log_path, {k: entry[k] for k in _LOG_FIELDS if k in entry}
+        entry.setdefault("directory", self.scenario_key(entry["spec_hash"]))
+        self.backend.put(self.entry_key(entry["spec_hash"]), _json_bytes(entry))
+        self.backend.append_commit(
+            {k: entry[k] for k in _LOG_FIELDS if k in entry}
         )
         return entry
 
@@ -198,8 +274,8 @@ class ResultsStore:
         return self.index()
 
     def log_records(self) -> list:
-        """The raw append-only log, oldest first (may contain duplicates)."""
-        return serialize.read_jsonl(self.log_path)
+        """The raw commit log, oldest first (may contain duplicates)."""
+        return self.backend.commit_records()
 
     def known_hashes(self) -> list:
         """Distinct spec hashes in log order of first appearance."""
@@ -211,12 +287,13 @@ class ResultsStore:
         return list(seen)
 
     def index(self) -> dict:
-        """Rebuild the hash -> entry index from the log + entry files.
+        """Rebuild the hash -> entry index from the log + entry objects.
 
-        The log supplies the hash set cheaply; each entry is then re-read
-        from its authoritative ``entry.json`` (the log line is never
-        trusted for content).  Hashes whose entry file vanished (pruned
-        directory) are dropped.
+        The log supplies the hash set cheaply (for merged-log backends
+        this is exactly the merge of the per-commit objects); each entry
+        is then re-read from its authoritative ``entry.json`` (the log
+        record is never trusted for content).  Hashes whose entry object
+        vanished (pruned directory) are dropped.
         """
         index = {}
         for h in self.known_hashes():
@@ -225,24 +302,31 @@ class ResultsStore:
                 index[h] = entry
         return index
 
+    def _entry_keys(self) -> list:
+        """All ``<hash16>/entry.json`` keys actually present on the backend."""
+        return [
+            key
+            for key in self.backend.list()
+            if key.count("/") == 1 and key.endswith(f"/{self.ENTRY_FILE}")
+        ]
+
     def reindex(self) -> dict:
-        """Self-heal the log from the ``entry.json`` files, then index.
+        """Self-heal the log from the ``entry.json`` objects, then index.
 
         Covers the crash window between an entry write and its log append
         (and stores assembled by copying scenario directories around): any
-        ``*/entry.json`` whose hash is missing from the log is re-appended.
+        entry object whose hash is missing from the log is re-appended.
         """
         logged = set(self.known_hashes())
-        for entry_file in sorted(self.root.glob(f"*/{self.ENTRY_FILE}")):
+        for key in sorted(self._entry_keys()):
             try:
-                with open(entry_file, "r", encoding="utf-8") as fh:
-                    entry = json.load(fh)
+                entry = json.loads(self.backend.get(key))
             except (OSError, json.JSONDecodeError):
                 continue
             h = entry.get("spec_hash")
             if h and h not in logged:
-                serialize.append_jsonl(
-                    self.log_path, {k: entry[k] for k in _LOG_FIELDS if k in entry}
+                self.backend.append_commit(
+                    {k: entry[k] for k in _LOG_FIELDS if k in entry}
                 )
                 logged.add(h)
         return self.index()
@@ -254,11 +338,9 @@ class ResultsStore:
         return entries
 
     def entry(self, spec_or_hash) -> dict | None:
-        """The committed entry for this hash (one file read, no log scan)."""
-        path = self.entry_path(spec_or_hash)
+        """The committed entry for this hash (one object read, no log scan)."""
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
+            return json.loads(self.backend.get(self.entry_key(spec_or_hash)))
         except FileNotFoundError:
             return None
         except json.JSONDecodeError:
@@ -268,7 +350,7 @@ class ResultsStore:
         """Expand a (unique) hash prefix to the full spec hash.
 
         A miss triggers one :meth:`reindex` retry, so entries whose log
-        line was lost (crashed writer, non-atomic network filesystem
+        record was lost (crashed writer, non-atomic network filesystem
         append) are still found as long as their ``entry.json`` exists.
         """
         prefix = str(prefix)
@@ -315,27 +397,30 @@ class ResultsStore:
 
         Takes the entry (possibly from a caller-held index snapshot, so
         batch scans need not re-read per spec) and verifies the
-        result/payload file it points at actually exists.
+        result/payload object it points at actually exists.
         """
         if entry is None or entry.get("status") != "completed":
             return False
         kind = entry.get("kind", "solve")
         target = (
-            self.result_path(entry["spec_hash"])
+            self.result_key(entry["spec_hash"])
             if kind == "solve"
-            else self.payload_path(entry["spec_hash"])
+            else self.payload_key(entry["spec_hash"])
         )
-        return target.exists()
+        return self.backend.exists(target)
 
     def has(self, spec_or_hash) -> bool:
-        """Whether a *completed* result for this spec hash is on disk."""
+        """Whether a *completed* result for this spec hash is stored."""
         return self.entry_is_complete(self.entry(spec_or_hash))
 
     # ------------------------------------------------------------------ #
     # writing results
     # ------------------------------------------------------------------ #
     def save_spec(self, spec: ScenarioSpec) -> None:
-        _atomic_json(self.spec_path(spec), {"spec_hash": spec.content_hash(), **spec.to_dict()})
+        self.backend.put(
+            self.spec_key(spec),
+            _json_bytes({"spec_hash": spec.content_hash(), **spec.to_dict()}),
+        )
 
     def _base_entry(self, spec: ScenarioSpec, status: str, wall_time: float) -> dict:
         return {
@@ -345,7 +430,7 @@ class ResultsStore:
             "tags": list(spec.tags),
             "status": status,
             "wall_time": float(wall_time),
-            "directory": self.scenario_dir(spec).name,
+            "directory": self.scenario_key(spec),
             **_provenance(),
         }
 
@@ -360,11 +445,11 @@ class ResultsStore:
 
         The entry is *returned, not committed* — the scenario runner's
         worker commits it (``commit_entry``) once everything the entry
-        points at is on disk.
+        points at is stored.
         """
         self.save_spec(spec)
         serialize.save_result(
-            self.result_path(spec), result, extra_meta={"spec_hash": spec.content_hash()}
+            self.result_ref(spec), result, extra_meta={"spec_hash": spec.content_hash()}
         )
         entry = self._base_entry(spec, "completed", wall_time)
         entry.update(
@@ -390,11 +475,11 @@ class ResultsStore:
     def write_payload(self, spec: ScenarioSpec, payload: dict, wall_time: float) -> dict:
         """Persist an experiment-scenario JSON payload; returns the entry."""
         self.save_spec(spec)
-        _atomic_json(self.payload_path(spec), payload)
+        self.backend.put(self.payload_key(spec), _json_bytes(payload))
         return self._base_entry(spec, "completed", wall_time)
 
     def failure_entry(self, spec: ScenarioSpec, status: str, wall_time: float, error: str) -> dict:
-        """Manifest entry for a failed/interrupted scenario (files untouched)."""
+        """Manifest entry for a failed/interrupted scenario (results untouched)."""
         entry = self._base_entry(spec, status, wall_time)
         entry["error"] = error
         return entry
@@ -403,15 +488,13 @@ class ResultsStore:
     # reading results
     # ------------------------------------------------------------------ #
     def load_result(self, spec_or_hash) -> TimeIterationResult:
-        return serialize.load_result(self.result_path(spec_or_hash))
+        return serialize.load_result(self.result_ref(spec_or_hash))
 
     def load_payload(self, spec_or_hash) -> dict:
-        with open(self.payload_path(spec_or_hash), "r", encoding="utf-8") as fh:
-            return json.load(fh)
+        return json.loads(self.backend.get(self.payload_key(spec_or_hash)))
 
     def load_spec(self, spec_or_hash) -> ScenarioSpec:
-        with open(self.spec_path(spec_or_hash), "r", encoding="utf-8") as fh:
-            data = json.load(fh)
+        data = json.loads(self.backend.get(self.spec_key(spec_or_hash)))
         data.pop("spec_hash", None)
         return ScenarioSpec.from_dict(data)
 
@@ -419,31 +502,40 @@ class ResultsStore:
     # checkpoints: listing and garbage collection
     # ------------------------------------------------------------------ #
     def list_checkpoints(self, with_progress: bool = False) -> list:
-        """Checkpoints on disk, newest first, annotated with entry status.
+        """Stored checkpoints, newest first, annotated with entry status.
 
-        Each item carries the checkpoint path/mtime and, when the
-        scenario's entry/spec files exist, its hash, name and status.
+        Each item carries the checkpoint key/mtime and, when the
+        scenario's entry/spec objects exist, its hash, name and status.
         ``with_progress=True`` additionally opens each checkpoint to
         report the iteration it would resume from (the ``resume`` CLI).
+        Routed entirely through the backend — no filesystem layout is
+        assumed, so the listing works identically for ``mem://`` and
+        ``s3://`` stores.
         """
         infos = []
-        for ckpt in self.root.glob("*/checkpoint.npz"):
-            entry = self.entry(ckpt.parent.name) or {}
+        for key in self.backend.list():
+            if key.count("/") != 1 or not key.endswith("/checkpoint.npz"):
+                continue
+            directory = key.split("/", 1)[0]
+            entry = self.entry(directory) or {}
             try:
-                mtime = ckpt.stat().st_mtime
+                mtime = self.backend.mtime(key)
             except FileNotFoundError:
                 continue  # a concurrent writer/GC removed it mid-scan
             info = {
-                "path": str(ckpt),
-                "directory": ckpt.parent.name,
+                "key": key,
+                "path": str(self.root / key) if self.root is not None else f"{self.url}/{key}",
+                "directory": directory,
                 "mtime": mtime,
-                "spec_hash": entry.get("spec_hash", ckpt.parent.name),
+                "spec_hash": entry.get("spec_hash", directory),
                 "name": entry.get("name", "?"),
                 "status": entry.get("status", "unknown"),
             }
             if with_progress:
                 try:
-                    info["iterations_done"] = len(serialize.load_result(ckpt).records)
+                    info["iterations_done"] = len(
+                        serialize.load_result(self.backend.ref(key)).records
+                    )
                 except Exception:  # noqa: BLE001 - a corrupt checkpoint is reported, not fatal
                     info["iterations_done"] = None
             infos.append(info)
@@ -490,12 +582,15 @@ class ResultsStore:
             removed.extend(survivors[keep_last_n:])
         paths = []
         for info in removed:
-            path = Path(info["path"])
-            try:
-                path.unlink()
-                paths.append(path)
-            except FileNotFoundError:
-                pass  # a concurrent writer/GC got there first
+            if self.backend.delete(info["key"], missing_ok=True):
+                # Path for file:// stores (local tooling expects real
+                # paths), PurePosixPath elsewhere (same .name/str API)
+                paths.append(
+                    self.root / info["key"]
+                    if self.root is not None
+                    else PurePosixPath(info["key"])
+                )
+            # else: a concurrent writer/GC got there first
         return paths
 
     # ------------------------------------------------------------------ #
@@ -503,8 +598,8 @@ class ResultsStore:
         """Human-readable store summary (the CLI ``show`` command)."""
         entries = self.entries()
         if not entries:
-            return f"store {self.root}: empty"
-        lines = [f"store {self.root}: {len(entries)} entry(ies)"]
+            return f"store {self.url}: empty"
+        lines = [f"store {self.url}: {len(entries)} entry(ies)"]
         header = (
             f"  {'name':<32} {'kind':<9} {'hash':<12} {'status':<11} "
             f"{'iters':>5} {'conv':>5} {'wall [s]':>9}  version"
@@ -520,3 +615,8 @@ class ResultsStore:
                 f"{e.get('library_version', '?')}"
             )
         return "\n".join(lines)
+
+
+#: the name the storage-backend redesign is documented under; ``ResultsStore``
+#: remains the primary name for backwards compatibility
+ScenarioStore = ResultsStore

@@ -1,0 +1,94 @@
+"""Shared fixtures for the scenario-engine tests: store-URL factories.
+
+The storage-backend tests need fresh, isolated store URLs per test for
+each of the three backends; :func:`make_store_url` builds them (unique
+``mem://`` namespaces, per-test fake-server endpoint directories for
+``s3://``).
+
+``REPRO_STORE_URL`` reroutes the *default* store fixtures onto another
+backend — ``REPRO_STORE_URL=mem://`` is how CI's matrix leg re-runs the
+scenario tests against the in-memory backend.  Only the URL's *scheme*
+is consulted; the fixtures always build fresh isolated stores of that
+scheme per test (never a shared namespace/bucket from the variable).
+Tests that genuinely need a local filesystem or a process-shared
+backend request those schemes explicitly and are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+
+import pytest
+
+from repro.scenarios import MemoryBackend
+
+SCHEMES = ("file", "mem", "s3")
+
+
+def _drop_mem_namespaces(urls) -> None:
+    """Evict the test's mem:// namespaces from the process-global registry
+    (fixture teardown — without this every mem:// test would leak its full
+    store contents for the rest of the pytest session)."""
+    for url in urls:
+        if url.startswith("mem://"):
+            MemoryBackend.drop(url[len("mem://"):])
+
+
+def make_store_url(scheme: str, tmp_path, name: str = "store") -> str:
+    """A fresh store URL of the given scheme, isolated per test."""
+    if scheme == "file":
+        return f"file://{(tmp_path / name).absolute().as_posix()}"
+    if scheme == "mem":
+        return f"mem://{uuid.uuid4().hex[:12]}-{name}"
+    if scheme == "s3":
+        endpoint = (tmp_path / "object-store-endpoint").absolute().as_posix()
+        return f"s3://test-bucket/{name}?endpoint={endpoint}"
+    raise ValueError(f"unknown test scheme {scheme!r}")
+
+
+@pytest.fixture(params=SCHEMES)
+def any_store_url(request, tmp_path) -> str:
+    """One fresh store URL per backend scheme — the conformance axis."""
+    url = make_store_url(request.param, tmp_path)
+    yield url
+    _drop_mem_namespaces([url])
+
+
+@pytest.fixture
+def store_url_for(tmp_path):
+    """Factory fixture: ``store_url_for(scheme, name=...)`` -> fresh URL."""
+    created: list = []
+
+    def make(scheme: str, name: str = "store") -> str:
+        url = make_store_url(scheme, tmp_path, name)
+        created.append(url)
+        return url
+
+    yield make
+    _drop_mem_namespaces(created)
+
+
+@pytest.fixture
+def env_store_url(tmp_path):
+    """Factory for store URLs on the environment-selected default backend.
+
+    Defaults to ``file://`` under ``tmp_path``.  Only the *scheme* of
+    ``REPRO_STORE_URL`` is used (any namespace/bucket in the variable is
+    ignored): each call still builds a fresh isolated store, just on the
+    selected backend — which is what the CI ``mem://`` matrix leg
+    exercises across the runner-level tests using this fixture.
+    """
+    configured = os.environ.get("REPRO_STORE_URL", "")
+    scheme = configured.split("://", 1)[0] if "://" in configured else "file"
+    if scheme not in SCHEMES:
+        raise ValueError(f"REPRO_STORE_URL has unsupported scheme {scheme!r}")
+    created: list = []
+
+    def make(name: str = "store") -> str:
+        url = make_store_url(scheme, tmp_path, name)
+        created.append(url)
+        return url
+
+    yield make
+    _drop_mem_namespaces(created)

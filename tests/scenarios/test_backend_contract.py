@@ -1,0 +1,467 @@
+"""Backend-conformance suite: one contract, asserted against all backends.
+
+Every test here is parametrized over ``file://``, ``mem://`` and
+``s3://`` store URLs (the ``any_store_url`` fixture), so the storage
+contract the :class:`ResultsStore` depends on — wholesale-atomic puts,
+read-your-writes visibility, durable commit records, last-writer-wins
+per hash, no-downgrade of completed entries, reindex self-healing,
+checkpoint GC and kill/resume — is pinned down once and must hold
+identically for every backend, current and future.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.scenarios import (
+    ResultsStore,
+    ScenarioSpec,
+    ScenarioSuite,
+    StoreURLError,
+    backend_from_url,
+    run_suite,
+)
+from repro.scenarios.__main__ import main as cli_main
+from repro.scenarios.backends import COMMIT_LOG_PREFIX
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+
+
+def _payload_spec(i: int, name: str | None = None) -> ScenarioSpec:
+    return ScenarioSpec(
+        name or f"contract-{i}",
+        kind="ablations",
+        params={"which": "partition", "total_processes": 2 ** (1 + i)},
+    )
+
+
+def _tiny_solve_spec(name="tiny", **calibration) -> ScenarioSpec:
+    cal = {"num_generations": 4, "num_states": 1, "beta": 0.8}
+    cal.update(calibration)
+    return ScenarioSpec(
+        name,
+        calibration=cal,
+        solver={"grid_level": 2, "tolerance": 1e-3, "max_iterations": 12},
+    )
+
+
+@pytest.fixture
+def backend(any_store_url):
+    return backend_from_url(any_store_url)
+
+
+@pytest.fixture
+def store(any_store_url):
+    return ResultsStore.open(any_store_url)
+
+
+# --------------------------------------------------------------------------- #
+# raw object contract
+# --------------------------------------------------------------------------- #
+class TestObjectContract:
+    def test_put_get_round_trip_and_wholesale_overwrite(self, backend):
+        backend.put("a/blob.bin", b"first contents")
+        assert backend.get("a/blob.bin") == b"first contents"
+        backend.put("a/blob.bin", b"2nd")
+        assert backend.get("a/blob.bin") == b"2nd"  # replaced whole, no residue
+
+    def test_get_missing_raises_filenotfound(self, backend):
+        with pytest.raises(FileNotFoundError):
+            backend.get("nope/missing.bin")
+
+    def test_exists_and_delete_semantics(self, backend):
+        assert not backend.exists("k")
+        backend.put("k", b"x")
+        assert backend.exists("k")
+        assert backend.delete("k") is True
+        assert not backend.exists("k")
+        assert backend.delete("k", missing_ok=True) is False
+        with pytest.raises(FileNotFoundError):
+            backend.delete("k", missing_ok=False)
+
+    def test_mtime_exists_and_missing_raises(self, backend):
+        backend.put("stamped", b"x")
+        assert backend.mtime("stamped") > 0
+        with pytest.raises(FileNotFoundError):
+            backend.mtime("never-written")
+
+    def test_list_is_sorted_and_prefix_filtered(self, backend):
+        for key in ("b/2", "a/1", "a/2", "c"):
+            backend.put(key, b"x")
+        assert backend.list() == ["a/1", "a/2", "b/2", "c"]
+        assert backend.list("a/") == ["a/1", "a/2"]
+        assert backend.list("zz") == []
+
+    def test_visibility_across_instances(self, backend, any_store_url):
+        # read-your-writes through a *separate* handle on the same URL —
+        # what a runner worker reopening the store URL relies on
+        backend.put("shared/entry.json", b"{}")
+        other = backend_from_url(any_store_url)
+        assert other.exists("shared/entry.json")
+        assert other.get("shared/entry.json") == b"{}"
+        other.put("shared/entry.json", b"{'v':2}")
+        assert backend.get("shared/entry.json") == b"{'v':2}"
+
+    def test_concurrent_same_key_puts_land_whole(self, backend):
+        # the atomicity half of "atomic commit visibility": racing writers
+        # of one key must produce one of the written values, never a splice
+        blobs = [bytes([65 + i]) * 100_000 for i in range(8)]
+        threads = [
+            threading.Thread(target=backend.put, args=("contended.bin", blob))
+            for blob in blobs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert backend.get("contended.bin") in blobs
+
+    def test_traversal_keys_are_rejected(self, backend, tmp_path):
+        # the shared key grammar holds on every backend: '..'/absolute/
+        # empty-segment keys are rejected outright, so a key can never
+        # read or write outside a filesystem-backed store root
+        outside = tmp_path / "outside-sentinel.txt"
+        for key in (
+            "../outside-sentinel.txt",
+            "../../etc/hostname",
+            "/abs/path",
+            "a//b",
+            "a/./b",
+            "",
+        ):
+            with pytest.raises(ValueError, match="key"):
+                backend.put(key, b"escape")
+            with pytest.raises(ValueError, match="key"):
+                backend.get(key)
+            # every object operation rejects uniformly, so code exercised
+            # on one backend cannot silently pass malformed keys on another
+            with pytest.raises(ValueError, match="key"):
+                backend.exists(key)
+            with pytest.raises(ValueError, match="key"):
+                backend.delete(key)
+            with pytest.raises(ValueError, match="key"):
+                backend.mtime(key)
+        assert not outside.exists()
+
+    def test_blob_ref_round_trip(self, backend):
+        ref = backend.ref("dir/obj.npz")
+        assert ref.name == "obj.npz"
+        assert not ref.exists()
+        ref.write_bytes(b"payload")
+        assert ref.exists() and ref.read_bytes() == b"payload"
+        assert ref.mtime() > 0
+        ref.unlink()
+        assert not ref.exists()
+        ref.unlink(missing_ok=True)  # idempotent
+        with pytest.raises(FileNotFoundError):
+            ref.unlink(missing_ok=False)
+
+
+class TestCommitLogContract:
+    def test_append_then_read_preserves_order_and_duplicates(self, backend):
+        records = [{"spec_hash": f"h{i}", "status": "completed"} for i in range(5)]
+        records.append(dict(records[0]))  # duplicates are part of the contract
+        for rec in records:
+            backend.append_commit(rec)
+        assert backend.commit_records() == records
+
+    def test_concurrent_appends_lose_nothing(self, backend):
+        # 16 threads, one commit each: every record must come out whole —
+        # O_APPEND interleaving for file://, per-commit objects elsewhere
+        def append(i):
+            backend.append_commit({"spec_hash": f"hash-{i:02d}", "wall_time": float(i)})
+
+        threads = [threading.Thread(target=append, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        got = backend.commit_records()
+        assert sorted(rec["spec_hash"] for rec in got) == [f"hash-{i:02d}" for i in range(16)]
+
+    def test_clear_commit_log_drops_records_only(self, backend):
+        backend.put("keep/entry.json", b"{}")
+        backend.append_commit({"spec_hash": "h"})
+        backend.clear_commit_log()
+        assert backend.commit_records() == []
+        assert backend.exists("keep/entry.json")
+
+
+# --------------------------------------------------------------------------- #
+# store-level contract
+# --------------------------------------------------------------------------- #
+class TestStoreContract:
+    def test_commit_is_visible_to_fresh_store(self, store, any_store_url):
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {"ok": True}, wall_time=1.0))
+        fresh = ResultsStore.open(any_store_url)
+        assert fresh.has(spec)
+        assert set(fresh.index()) == {spec.content_hash()}
+        assert fresh.load_payload(spec) == {"ok": True}
+        assert fresh.load_spec(spec) == spec
+
+    def test_last_writer_wins_per_hash(self, store):
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {"worker": 1}, wall_time=1.0))
+        store.commit_entry(store.write_payload(spec, {"worker": 2}, wall_time=2.0))
+        assert store.load_payload(spec) == {"worker": 2}
+        assert store.entry(spec)["wall_time"] == 2.0
+        # the log keeps both commits; wall_times reports the latest
+        assert store.wall_times()[spec.content_hash()] == 2.0
+
+    def test_no_downgrade_of_completed_entries(self, store):
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {"ok": True}, wall_time=1.0))
+        returned = store.commit_entry(
+            store.failure_entry(spec, "failed", 0.1, "transient error")
+        )
+        assert returned["status"] == "completed"  # the existing entry won
+        assert store.entry(spec)["status"] == "completed"
+        assert store.has(spec)
+
+    def test_reindex_self_heals_a_lost_log(self, store, any_store_url):
+        specs = [_payload_spec(i) for i in range(3)]
+        for spec in specs:
+            store.commit_entry(store.write_payload(spec, {"i": spec.name}, wall_time=1.0))
+        store.backend.clear_commit_log()
+        assert store.index() == {}  # log-based discovery finds nothing
+        assert store.has(specs[0])  # ...but direct entry reads still work
+        healed = ResultsStore.open(any_store_url).reindex()
+        assert set(healed) == {s.content_hash() for s in specs}
+
+    def test_resolve_hash_auto_reindexes_on_miss(self, store):
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
+        store.backend.clear_commit_log()
+        assert store.resolve_hash(spec.content_hash()[:12]) == spec.content_hash()
+
+    def test_wall_times_completed_beats_later_partial(self, store):
+        # satellite regression: wall_times flows through the backend's
+        # commit log, not os.path — and keeps its status-aware semantics
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {}, wall_time=30.0))
+        store.commit_entry(store.failure_entry(spec, "interrupted", 2.0, "killed"))
+        assert store.wall_times()[spec.content_hash()] == 30.0
+        other = _payload_spec(1)
+        store.commit_entry(store.failure_entry(other, "interrupted", 4.0, "killed"))
+        assert store.wall_times()[other.content_hash()] == 4.0  # partial stands in
+
+    def test_checkpoint_gc_policies(self, store):
+        done = _payload_spec(0, name="done")
+        store.commit_entry(store.write_payload(done, {}, wall_time=1.0))
+        store.checkpoint_ref(done).write_bytes(b"stale")
+        halted = []
+        for i in range(1, 4):
+            spec = _payload_spec(i, name=f"halted-{i}")
+            store.commit_entry(store.failure_entry(spec, "interrupted", 1.0, "killed"))
+            store.checkpoint_ref(spec).write_bytes(b"resumable")
+            halted.append(spec)
+            time.sleep(0.01)  # distinct mtimes for the newest-first ordering
+        # completed checkpoints are always stale; resumable ones survive
+        removed = store.gc_checkpoints()
+        assert [p.name for p in removed] == ["checkpoint.npz"]
+        assert len(store.list_checkpoints()) == 3
+        # keep_last_n caps survivors at the newest
+        removed = store.gc_checkpoints(keep_last_n=1)
+        assert len(removed) == 2
+        survivors = store.list_checkpoints()
+        assert len(survivors) == 1
+        assert survivors[0]["directory"] == store.scenario_key(halted[-1])
+        # keep_on_failure=False drops the rest
+        assert len(store.gc_checkpoints(keep_on_failure=False)) == 1
+        assert store.list_checkpoints() == []
+
+    def test_gc_scoped_to_hashes(self, store):
+        mine, other = _payload_spec(0, name="mine"), _payload_spec(1, name="other")
+        for spec in (mine, other):
+            store.commit_entry(store.failure_entry(spec, "interrupted", 1.0, "killed"))
+            store.checkpoint_ref(spec).write_bytes(b"resumable")
+        removed = store.gc_checkpoints(keep_on_failure=False, hashes=[mine.content_hash()])
+        assert len(removed) == 1
+        assert store.checkpoint_ref(other).exists()
+
+    def test_solve_kill_resume_round_trip(self, store):
+        # checkpoints flow through the backend: a killed solve resumes
+        # from its stored checkpoint identically on every backend
+        suite = ScenarioSuite("one", [_tiny_solve_spec("kill-me")])
+        broken = run_suite(suite, store, interrupt_after=1)
+        assert broken.count("interrupted") == 1
+        listed = store.list_checkpoints(with_progress=True)
+        assert len(listed) == 1 and listed[0]["iterations_done"] == 1
+        fixed = run_suite(suite, store)
+        assert fixed.count("completed") == 1
+        entry = store.entry(suite[0])
+        assert entry["resumed"] is True
+        assert store.load_result(suite[0]).converged
+        assert not store.checkpoint_ref(suite[0]).exists()  # dropped post-commit
+
+    def test_skip_by_hash_across_store_reopen(self, store, any_store_url):
+        suite = ScenarioSuite("exp", [_payload_spec(0), _payload_spec(1)])
+        assert run_suite(suite, store).count("completed") == 2
+        again = run_suite(suite, ResultsStore.open(any_store_url))
+        assert again.count("skipped") == 2
+
+    def test_describe_lists_entries(self, store):
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
+        text = store.describe()
+        assert spec.name in text and store.url in text
+
+
+# --------------------------------------------------------------------------- #
+# backend-specific layout properties (asserted, not assumed)
+# --------------------------------------------------------------------------- #
+class TestLogLayouts:
+    @pytest.mark.parametrize("scheme", ["mem", "s3"])
+    def test_merged_log_backends_write_one_object_per_commit(self, scheme, store_url_for):
+        store = ResultsStore.open(store_url_for(scheme))
+        for i in range(3):
+            spec = _payload_spec(i)
+            store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
+        log_objects = store.backend.list(COMMIT_LOG_PREFIX)
+        assert len(log_objects) == 3  # one immutable object per commit
+        assert set(store.index()) == {_payload_spec(i).content_hash() for i in range(3)}
+
+    def test_file_backend_keeps_append_only_jsonl(self, store_url_for):
+        store = ResultsStore.open(store_url_for("file"))
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
+        assert store.backend.list(COMMIT_LOG_PREFIX) == []
+        lines = store.log_path.read_text().splitlines()
+        assert [json.loads(line)["spec_hash"] for line in lines] == [spec.content_hash()]
+
+    def test_file_url_round_trips_awkward_path_characters(self, tmp_path):
+        # '#', spaces and '%xx' in directory names must survive the
+        # url-build/urlsplit/unquote round trip: a worker reopening a
+        # non-round-tripping URL would commit into a different directory
+        for dirname in ("runs#1", "with space", "odd%20name"):
+            store = ResultsStore(tmp_path / dirname)
+            spec = _payload_spec(0)
+            store.commit_entry(store.write_payload(spec, {"ok": 1}, wall_time=1.0))
+            reopened = ResultsStore.open(store.url)
+            assert reopened.root == store.root, dirname
+            assert reopened.load_payload(spec) == {"ok": 1}
+
+    def test_file_store_layout_unchanged_from_plain_path_open(self, tmp_path):
+        # ResultsStore(path) and ResultsStore.open(file://...) are the
+        # same store: bytes written by one are read by the other
+        store = ResultsStore(tmp_path / "runs")
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {"ok": 1}, wall_time=1.0))
+        assert store.url == f"file://{(tmp_path / 'runs').as_posix()}"
+        via_url = ResultsStore.open(store.url)
+        assert via_url.load_payload(spec) == {"ok": 1}
+        assert (tmp_path / "runs" / "manifest.log").exists()
+
+
+# --------------------------------------------------------------------------- #
+# URL parsing and process-safety guards
+# --------------------------------------------------------------------------- #
+class TestStoreURLErrors:
+    @pytest.mark.parametrize(
+        "url, message",
+        [
+            ("ftp://somewhere/store", "unknown store URL scheme"),
+            ("not-a-url-at-all://", "unknown store URL scheme"),
+            ("plain/relative/path", "not a store URL"),
+            ("mem://", "namespace"),
+            ("s3:///only-a-prefix?endpoint=/tmp/e", "bucket"),
+            ("file://remotehost/share/store", "must be local"),
+        ],
+    )
+    def test_malformed_urls_raise_store_url_error(self, url, message):
+        with pytest.raises(StoreURLError, match=message):
+            backend_from_url(url)
+
+    def test_traversal_bucket_names_are_rejected(self, tmp_path):
+        # a bucket of '..' must not escape the fake server's endpoint
+        # directory — rejected at URL parse time and at the server
+        from repro.scenarios import FakeObjectServer
+
+        with pytest.raises(StoreURLError, match="bucket"):
+            backend_from_url(f"s3://../escape?endpoint={tmp_path / 'srv'}")
+        server = FakeObjectServer(tmp_path / "srv")
+        for bucket in ("..", ".", "UPPER", "has/slash", "-edge"):
+            with pytest.raises(ValueError, match="bucket"):
+                server.put_object(bucket, "k", b"x")
+        assert sorted(p.name for p in (tmp_path / "srv").iterdir()) == []
+
+    def test_s3_without_endpoint_names_the_env_var(self, monkeypatch):
+        monkeypatch.delenv("REPRO_S3_ENDPOINT", raising=False)
+        with pytest.raises(StoreURLError, match="REPRO_S3_ENDPOINT"):
+            backend_from_url("s3://bucket/prefix")
+
+    def test_s3_endpoint_falls_back_to_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_S3_ENDPOINT", str(tmp_path / "ep"))
+        backend = backend_from_url("s3://bucket/prefix")
+        # the resolved endpoint is baked into the canonical URL, so
+        # worker processes need no environment of their own
+        assert "endpoint=" in backend.url
+        backend.put("x", b"1")
+        assert backend_from_url(backend.url).get("x") == b"1"
+
+    def test_results_store_open_propagates(self):
+        with pytest.raises(StoreURLError):
+            ResultsStore.open("bogus://x")
+        assert issubclass(StoreURLError, ValueError)
+
+    def test_cli_reports_bad_store_url_as_usage_error(self, capsys):
+        assert cli_main(["show", "--store", "bogus://x"]) == 2
+        assert "unknown store URL scheme" in capsys.readouterr().err
+
+    def test_real_s3_endpoint_is_config_only_boto3_wiring(self):
+        # config-only wiring: an http endpoint selects the boto3-backed
+        # client (never the bundled fake); without the optional boto3
+        # dependency that request fails with a self-explaining error
+        try:
+            import boto3  # noqa: F401
+        except ImportError:
+            with pytest.raises(RuntimeError, match="boto3"):
+                backend_from_url("s3://bucket/p?endpoint=https://s3.example.com")
+        else:
+            backend = backend_from_url("s3://bucket/p?endpoint=https://s3.example.com")
+            assert type(backend.client).__name__ == "_Boto3Client"
+
+
+class TestProcessSafetyGuard:
+    def test_mem_store_refuses_process_executor(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        suite = ScenarioSuite("one", [_payload_spec(0)])
+        with pytest.raises(ValueError, match="in-process only"):
+            run_suite(suite, store, executor="processes")
+
+    def test_cli_reports_mem_processes_as_usage_error(self, capsys):
+        # same clean exit-2 path as a typo'd --store URL, not a traceback
+        from repro.scenarios import MemoryBackend
+
+        code = cli_main(
+            ["run", "smoke", "--store", "mem://cli-guard", "--executor", "processes"]
+        )
+        MemoryBackend.drop("cli-guard")
+        assert code == 2
+        assert "in-process only" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("scheme", ["file", "s3"])
+    def test_process_shared_backends_accept_process_executor(self, scheme, store_url_for):
+        store = ResultsStore.open(store_url_for(scheme))
+        suite = ScenarioSuite("pair", [_payload_spec(0), _payload_spec(1)])
+        report = run_suite(suite, store, executor="processes", num_workers=2)
+        assert report.ok and report.count("completed") == 2
+
+
+class TestEnvSelectedDefaultBackend:
+    def test_batch_runs_on_env_selected_backend(self, env_store_url):
+        # the fixture honours REPRO_STORE_URL: under CI's mem:// leg this
+        # whole batch runs against the in-memory backend
+        store = ResultsStore.open(env_store_url("batch"))
+        suite = ScenarioSuite("exp", [_payload_spec(0), _payload_spec(1)])
+        report = run_suite(suite, store)
+        assert report.ok and report.count("completed") == 2
+        assert run_suite(suite, store).count("skipped") == 2
+        assert set(store.index()) == set(suite.hashes())

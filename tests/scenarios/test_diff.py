@@ -166,6 +166,93 @@ class TestDiffCLI:
         assert "no store entry" in capsys.readouterr().err
 
 
+class TestCrossBackendDiff:
+    """``diff`` across two stores on two different storage backends."""
+
+    def _solve_spec(self, name, tau):
+        return ScenarioSpec(
+            name,
+            calibration={"num_generations": 4, "num_states": 1, "beta": 0.8, "tau_labor": tau},
+            solver={"grid_level": 2, "tolerance": 1e-3, "max_iterations": 12},
+        )
+
+    @pytest.fixture()
+    def two_backend_stores(self, store_url_for):
+        """Baseline solve in a file:// store, reform solve in an s3:// store."""
+        baseline, reform = self._solve_spec("base", 0.1), self._solve_spec("reform", 0.2)
+        local = ResultsStore.open(store_url_for("file", name="local"))
+        remote = ResultsStore.open(store_url_for("s3", name="archive"))
+        assert run_suite(ScenarioSuite("a", [baseline]), local).ok
+        assert run_suite(ScenarioSuite("b", [reform]), remote).ok
+        return local, remote, baseline, reform
+
+    def test_diff_entries_across_backends(self, two_backend_stores):
+        local, remote, baseline, reform = two_backend_stores
+        diff = diff_entries(
+            local, baseline.content_hash(), reform.content_hash(), store_b=remote
+        )
+        assert diff["calibration"]["changed"]["tau_labor"] == {"a": 0.1, "b": 0.2}
+        # each side records which store (and hence backend) it came from
+        assert diff["a"]["store"].startswith("file://")
+        assert diff["b"]["store"].startswith("s3://")
+        # the policy comparison loads result A from disk and result B
+        # from the object store onto one common sample
+        assert diff["policy"]["max_abs_policy_diff"] > 0
+
+    def test_hash_b_resolves_in_store_b_only(self, two_backend_stores):
+        local, remote, baseline, reform = two_backend_stores
+        # the reform hash does not exist in the local store at all:
+        # without store_b the lookup must fail, with it it must succeed
+        with pytest.raises(KeyError, match="no (store|committed) entry"):
+            diff_entries(local, baseline.content_hash(), reform.content_hash())
+        with pytest.raises(KeyError, match="no store entry"):
+            diff_entries(local, baseline.short_hash, reform.short_hash)
+        diff = diff_entries(
+            local, baseline.content_hash(), reform.short_hash, store_b=remote
+        )
+        assert diff["b"]["spec_hash"] == reform.content_hash()
+
+    def test_cli_store_b_flag(self, two_backend_stores, capsys):
+        local, remote, baseline, reform = two_backend_stores
+        code = cli_main(
+            [
+                "diff",
+                baseline.short_hash,
+                reform.short_hash,
+                "--store",
+                local.url,
+                "--store-b",
+                remote.url,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tau_labor" in out and "0.1 -> 0.2" in out
+        assert "@ file://" in out and "@ s3://" in out
+
+    def test_cli_store_b_json_records_stores(self, two_backend_stores, capsys):
+        local, remote, baseline, reform = two_backend_stores
+        code = cli_main(
+            [
+                "diff",
+                baseline.short_hash,
+                reform.short_hash,
+                "--store",
+                local.url,
+                "--store-b",
+                remote.url,
+                "--json",
+                "--samples",
+                "8",
+            ]
+        )
+        assert code == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["a"]["store"] == local.url
+        assert diff["b"]["store"] == remote.url
+        assert diff["policy"]["samples"] == 8
+
+
 class TestResumeCLI:
     def test_lists_resumable_checkpoints(self, tmp_path, capsys):
         spec = ScenarioSpec(

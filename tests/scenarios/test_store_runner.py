@@ -87,46 +87,46 @@ class TestResultsStore:
 
 
 class TestRunner:
-    def test_skip_by_hash_then_force(self, tmp_path, tiny_suite):
-        store = ResultsStore(tmp_path / "store")
+    def test_skip_by_hash_then_force(self, env_store_url, tiny_suite):
+        store = ResultsStore.open(env_store_url())
         assert run_suite(tiny_suite, store).count("completed") == 2
         second = run_suite(tiny_suite, store)
         assert second.count("skipped") == 2 and second.count("completed") == 0
         forced = run_suite(tiny_suite, store, force=True)
         assert forced.count("completed") == 2
 
-    def test_interrupted_batch_resumes(self, tmp_path):
+    def test_interrupted_batch_resumes(self, env_store_url):
         suite = ScenarioSuite("one", [_tiny_solve_spec("resume-me")])
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         broken = run_suite(suite, store, interrupt_after=2)
         assert broken.count("interrupted") == 1
         assert store.entry(suite[0])["status"] == "interrupted"
-        assert store.checkpoint_path(suite[0]).exists()
+        assert store.checkpoint_ref(suite[0]).exists()
         # identical re-invocation resumes from the checkpoint and completes
         fixed = run_suite(suite, store)
         assert fixed.count("completed") == 1
         entry = store.entry(suite[0])
         assert entry["status"] == "completed" and entry["resumed"] is True
         # resumed result equals an uninterrupted solve of the same spec
-        fresh_store = ResultsStore(tmp_path / "fresh")
+        fresh_store = ResultsStore.open(env_store_url("fresh"))
         run_suite(suite, fresh_store)
         a = store.load_result(suite[0])
         b = fresh_store.load_result(suite[0])
         assert a.iterations == b.iterations
         assert np.array_equal(a.error_history(), b.error_history())
 
-    def test_worker_commit_survives_parent_death(self, tmp_path):
+    def test_worker_commit_survives_parent_death(self, env_store_url):
         # a worker that finishes commits its own entry into the sharded
         # store: the work is durable even if the parent dies right after,
         # and the restarted batch skips it by hash instead of re-solving
         import repro.scenarios.runner as runner_mod
 
         suite = ScenarioSuite("one", [_tiny_solve_spec("orphan")])
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         spec = suite[0]
         task = {
             "spec": spec.to_dict(),
-            "store_root": str(store.root),
+            "store_url": store.url,
             "checkpoint_every": 1,
             "point_executor": "serial",
             "point_workers": 1,
@@ -134,44 +134,44 @@ class TestRunner:
         }
         entry = runner_mod._execute_task(task)
         assert entry["status"] == "completed"
-        assert store.result_path(spec).exists()
+        assert store.result_ref(spec).exists()
         assert store.has(spec)  # committed by the worker itself
-        assert not store.checkpoint_path(spec).exists()  # dropped post-commit
+        assert not store.checkpoint_ref(spec).exists()  # dropped post-commit
         report = run_suite(suite, store)
         assert report.count("skipped") == 1
 
-    def test_reindex_recovers_entry_missing_from_log(self, tmp_path):
+    def test_reindex_recovers_entry_missing_from_log(self, env_store_url):
         # crash window: entry.json written but the log append never
         # happened (or the log was lost) — reindex heals the log from the
-        # entry files and the entry becomes discoverable again
+        # entry objects and the entry becomes discoverable again
         suite = ScenarioSuite("one", [_tiny_solve_spec("heal")])
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         run_suite(suite, store)
-        store.log_path.unlink()
+        store.backend.clear_commit_log()
         assert store.index() == {}  # log-based discovery finds nothing
         assert store.has(suite[0])  # ...but direct entry reads still work
         index = store.reindex()
         assert set(index) == {suite[0].content_hash()}
         assert set(store.index()) == {suite[0].content_hash()}
 
-    def test_interrupt_with_sparse_checkpoint_still_resumable(self, tmp_path):
+    def test_interrupt_with_sparse_checkpoint_still_resumable(self, env_store_url):
         # interrupt before the first periodic checkpoint would have fired:
         # a checkpoint must be forced so the re-run resumes, not restarts
         suite = ScenarioSuite("one", [_tiny_solve_spec("sparse")])
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         broken = run_suite(suite, store, interrupt_after=1, checkpoint_every=5)
         assert broken.count("interrupted") == 1
-        assert store.checkpoint_path(suite[0]).exists()
+        assert store.checkpoint_ref(suite[0]).exists()
         fixed = run_suite(suite, store, checkpoint_every=5)
         assert fixed.count("completed") == 1
         assert store.entry(suite[0])["resumed"] is True
 
-    def test_repeated_sparse_interrupts_make_progress(self, tmp_path):
+    def test_repeated_sparse_interrupts_make_progress(self, env_store_url):
         # kill-after-1 with checkpoint-every-5 must persist the newest state
         # each run (no livelock on a stale checkpoint): every re-invocation
         # advances at least one iteration and the suite eventually completes
         suite = ScenarioSuite("one", [_tiny_solve_spec("grind")])
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         for attempt in range(25):
             report = run_suite(suite, store, interrupt_after=1, checkpoint_every=5)
             if report.count("completed") == 1:
@@ -182,23 +182,23 @@ class TestRunner:
         # the interrupted attempts each persisted one more iteration
         assert attempt + 1 <= store.load_result(suite[0]).iterations + 1
 
-    def test_deferred_duplicate_mirrors_failed_twin(self, tmp_path):
+    def test_deferred_duplicate_mirrors_failed_twin(self, env_store_url):
         bad = ScenarioSpec("bad-a", kind="ablations", params={"which": "no-such"})
         twin = ScenarioSpec("bad-b", kind="ablations", params={"which": "no-such"})
         assert bad.content_hash() == twin.content_hash()
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         report = run_suite(ScenarioSuite("dups", [bad, twin]), store)
         assert report.count("failed") == 2  # the deferred twin must not read as ok
         assert not report.ok
 
-    def test_duplicate_hash_runs_once(self, tmp_path):
+    def test_duplicate_hash_runs_once(self, env_store_url):
         # same content, different names: must not race two workers on one
         # scenario directory — one runs, the twin is satisfied by hash
         suite = ScenarioSuite(
             "dups", [_tiny_solve_spec("twin-a"), _tiny_solve_spec("twin-b")]
         )
         assert suite[0].content_hash() == suite[1].content_hash()
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         report = run_suite(suite, store, executor="threads", num_workers=2)
         assert report.count("completed") == 1 and report.count("skipped") == 1
         assert store.load_result(suite[1]).converged  # twin reads the shared result
@@ -216,7 +216,7 @@ class TestRunner:
         with pytest.raises(KeyboardInterrupt):
             run_suite(suite, ResultsStore(tmp_path / "store"))
 
-    def test_failed_scenario_does_not_kill_batch(self, tmp_path):
+    def test_failed_scenario_does_not_kill_batch(self, env_store_url):
         suite = ScenarioSuite(
             "mixed",
             [
@@ -224,7 +224,7 @@ class TestRunner:
                 _tiny_solve_spec("good"),
             ],
         )
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         report = run_suite(suite, store)
         assert report.count("failed") == 1 and report.count("completed") == 1
         assert "no-such" in store.entry(suite[0])["error"]
@@ -232,7 +232,7 @@ class TestRunner:
         again = run_suite(suite, store)
         assert again.count("failed") == 1 and again.count("skipped") == 1
 
-    def test_experiment_scenarios_store_payloads(self, tmp_path):
+    def test_experiment_scenarios_store_payloads(self, env_store_url):
         suite = ScenarioSuite(
             "exp",
             [
@@ -244,7 +244,7 @@ class TestRunner:
                 ),
             ],
         )
-        store = ResultsStore(tmp_path / "store")
+        store = ResultsStore.open(env_store_url())
         report = run_suite(suite, store)
         assert report.ok
         abl = store.load_payload(suite[0])
@@ -253,16 +253,16 @@ class TestRunner:
         assert fig8["result"]["node_counts"] == [1, 4]
         assert "formatted" in fig8["result"]
 
-    def test_table_presets_run_through_runner(self, tmp_path):
-        store = ResultsStore(tmp_path / "store")
+    def test_table_presets_run_through_runner(self, env_store_url):
+        store = ResultsStore.open(env_store_url())
         report = run_suite(get_preset("table1"), store)
         assert report.ok
         payload = store.load_payload(get_preset("table1")[0])
         rows = payload["result"]["rows"]
         assert rows and rows[0]["dim"] == 12
 
-    def test_threads_executor(self, tmp_path, tiny_suite):
-        store = ResultsStore(tmp_path / "store")
+    def test_threads_executor(self, env_store_url, tiny_suite):
+        store = ResultsStore.open(env_store_url())
         report = run_suite(tiny_suite, store, executor="threads", num_workers=2)
         assert report.ok and report.count("completed") == 2
 

@@ -90,3 +90,53 @@ class TestJobsReferenceRealThings:
                     if len(line) > limit and "noqa" not in line:  # ruff honours noqa
                         offenders.append(f"{path.relative_to(REPO)}:{lineno} ({len(line)})")
         assert not offenders, f"lines over {limit} chars: " + ", ".join(offenders[:10])
+
+
+class TestPipelineExtensions:
+    """PR 4 additions: pip caching, bench artifact upload, mem:// leg."""
+
+    def test_every_setup_python_caches_pip(self, workflow):
+        # pip installs are cached keyed on pyproject.toml in every job
+        for name, job in workflow["jobs"].items():
+            setups = [
+                step for step in job["steps"]
+                if step.get("uses", "").startswith("actions/setup-python@")
+            ]
+            assert setups, name
+            for step in setups:
+                assert step["with"].get("cache") == "pip", name
+                assert step["with"].get("cache-dependency-path") == "pyproject.toml", name
+
+    def test_bench_job_uploads_quick_bench_artifact(self, workflow):
+        job = workflow["jobs"]["bench"]
+        uploads = [
+            step for step in job["steps"]
+            if step.get("uses", "").startswith("actions/upload-artifact@")
+        ]
+        assert uploads, "bench job must upload the quick-bench JSON artifact"
+        assert "bench_quick.json" in uploads[0]["with"]["path"]
+        # the run step must redirect the artifact out of the scratch dir
+        commands = " && ".join(_run_commands(job))
+        assert "QUICK_BENCH_OUT" in commands
+
+    def test_quick_bench_out_is_overridable(self):
+        script = (REPO / "benchmarks" / "run_quick.sh").read_text()
+        # default stays in the scratch dir; CI overrides to a persistent path
+        assert 'QUICK_BENCH_OUT="${QUICK_BENCH_OUT:-' in script
+
+    def test_matrix_has_mem_store_leg(self, workflow):
+        matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+        legs = matrix.get("include", [])
+        mem = [leg for leg in legs if leg.get("store-url") == "mem://"]
+        assert mem, "tests matrix needs a REPRO_STORE_URL=mem:// leg"
+        commands = " && ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "REPRO_STORE_URL" in commands
+        assert "tests/scenarios" in commands
+
+    def test_bench_script_sweeps_file_and_object_store(self):
+        # the kill/resume + diff smoke sweep must run against both a
+        # file:// URL and an object-store URL (acceptance criterion)
+        script = (REPO / "benchmarks" / "run_quick.sh").read_text()
+        assert 'smoke_sweep "file://' in script
+        assert 'smoke_sweep "s3://' in script
+        assert "--store-b" in script  # cross-backend diff leg
