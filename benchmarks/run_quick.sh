@@ -76,6 +76,32 @@ python -m repro.scenarios diff \
     --store "file://$SCRATCH/store" \
     --store-b "s3://quick-bench/sweep?endpoint=$SCRATCH/object-store"
 
+# --- commit-log compaction smoke ------------------------------------------ #
+# Fold the s3:// sweep's per-commit objects into a snapshot checkpoint,
+# then re-run show/diff against the compacted store: every answer must
+# come out of one snapshot object plus the (empty) un-folded tail.
+S3_STORE="s3://quick-bench/sweep?endpoint=$SCRATCH/object-store"
+python -m repro.scenarios compact --store "$S3_STORE" --grace 0
+python -m repro.scenarios show --store "$S3_STORE"
+python -m repro.scenarios diff \
+    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[0].content_hash())')" \
+    "$(python -c 'from repro.scenarios import get_preset; print(get_preset("smoke")[1].content_hash())')" \
+    --store "$S3_STORE"
+
+SCENARIO_STORE_URL="$S3_STORE" python - <<'EOF'
+import os
+from repro.scenarios import ResultsStore, get_preset
+from repro.scenarios.backends import COMMIT_LOG_PREFIX, SNAPSHOT_PREFIX
+
+store = ResultsStore.open(os.environ["SCENARIO_STORE_URL"])
+assert store.backend.list(COMMIT_LOG_PREFIX) == [], "compaction left per-commit objects"
+assert len(store.backend.list(SNAPSHOT_PREFIX)) == 1, "expected exactly one snapshot"
+suite = get_preset("smoke")
+assert set(store.index()) == set(suite.hashes())
+assert all(store.has(s) for s in suite)
+print(f"compaction smoke OK on {store.url}: one snapshot answers index/show/diff")
+EOF
+
 # write the quick sweep to a scratch file by default: the full-sweep
 # BENCH_hierarchize.json artifact at the repo root must not be clobbered
 export QUICK_BENCH_OUT="${QUICK_BENCH_OUT:-$SCRATCH/bench_quick.json}"

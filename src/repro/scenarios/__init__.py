@@ -43,6 +43,7 @@ Run a preset sweep from the command line (also installed as the
     python -m repro.scenarios show --store runs/
     python -m repro.scenarios diff HASH1 HASH2 --store runs/
     python -m repro.scenarios resume --store runs/
+    python -m repro.scenarios compact --store runs/
 
 Re-running the same command skips everything already in ``runs/`` (content
 hashing), so a crashed batch is simply restarted; an interrupted solve

@@ -11,7 +11,11 @@ Installed as the ``repro-scenarios`` console script and runnable as
   policy-surplus and aggregate differences (``--json`` for machines;
   ``--store-b`` resolves the second hash in a different store, possibly
   on a different backend);
-* ``resume`` — list the resumable checkpoints sitting in a store.
+* ``resume`` — list the resumable checkpoints sitting in a store;
+* ``compact`` — fold the store's commit log into one immutable snapshot
+  checkpoint object, so ``index()``/``show`` on long-lived object-store
+  logs cost one snapshot read plus the un-folded tail (``--grace``
+  controls how long folded log objects linger for in-flight readers).
 
 Every ``--store`` flag accepts either a local directory or a store URL
 (``file:///abs/path``, ``mem://name``, ``s3://bucket/prefix?endpoint=...``
@@ -28,7 +32,7 @@ import sys
 import time
 
 from repro.parallel.executor import EXECUTOR_KINDS
-from repro.scenarios.backends import StoreURLError
+from repro.scenarios.backends import DEFAULT_COMPACT_GRACE, StoreURLError
 from repro.scenarios.diff import diff_entries, format_diff
 from repro.scenarios.runner import SCHEDULE_KINDS, run_suite
 from repro.scenarios.spec import get_preset, preset_names
@@ -140,7 +144,42 @@ def _build_parser() -> argparse.ArgumentParser:
     resume = sub.add_parser("resume", help="list resumable checkpoints in a store")
     resume.add_argument("--store", default=_default_store(), help=_STORE_HELP)
     resume.add_argument("--json", action="store_true", help="emit the listing as JSON")
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold the commit log into a snapshot checkpoint "
+        "(index() then reads one snapshot plus the un-folded tail)",
+    )
+    compact.add_argument("--store", default=_default_store(), help=_STORE_HELP)
+    compact.add_argument(
+        "--grace",
+        type=float,
+        default=DEFAULT_COMPACT_GRACE,
+        metavar="SECONDS",
+        help="folded log objects are only deleted once their snapshot has "
+        "been durable this long (in-flight readers keep their tail); "
+        "0 deletes immediately (default: %(default)s)",
+    )
+    compact.add_argument("--json", action="store_true", help="emit the report as JSON")
     return parser
+
+
+def _cmd_compact(args) -> int:
+    store = ResultsStore(args.store)
+    report = store.compact(grace_seconds=args.grace)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if report["snapshot"] is None and not report["deleted_objects"]:
+        print(f"store {store.url}: nothing to compact ({report['total_records']} record(s))")
+        return 0
+    print(
+        f"store {store.url}: folded {report['folded_records']} record(s) "
+        f"into {report['snapshot'] or 'the existing snapshot'} "
+        f"({report['total_records']} total); deleted {report['deleted_objects']} "
+        f"log object(s), {report['kept_for_grace']} kept for the grace window"
+    )
+    return 0
 
 
 def _cmd_diff(args) -> int:
@@ -209,6 +248,9 @@ def _dispatch(args) -> int:
 
     if args.command == "resume":
         return _cmd_resume(args)
+
+    if args.command == "compact":
+        return _cmd_compact(args)
 
     # run
     try:

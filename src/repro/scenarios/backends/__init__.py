@@ -35,6 +35,8 @@ import urllib.parse
 
 from repro.scenarios.backends.base import (
     COMMIT_LOG_PREFIX,
+    DEFAULT_COMPACT_GRACE,
+    SNAPSHOT_PREFIX,
     BlobRef,
     MergedCommitLog,
     StorageBackend,
@@ -52,6 +54,8 @@ __all__ = [
     "BlobRef",
     "MergedCommitLog",
     "COMMIT_LOG_PREFIX",
+    "SNAPSHOT_PREFIX",
+    "DEFAULT_COMPACT_GRACE",
     "LocalFSBackend",
     "MemoryBackend",
     "ObjectStoreBackend",

@@ -23,6 +23,32 @@ every commit record into its own immutable log object under
 ``commits/`` and merges them at read time — the lock-free multi-writer
 semantics of the sharded store survive on a plain put/get/list/delete
 API.
+
+Log lifecycle
+-------------
+A long-lived merged log accumulates one object per commit forever, so
+``commit_records()`` (the path ``ResultsStore.index()`` exercises)
+degrades to O(total commits ever) object reads.  :meth:`compact` folds
+the log into a single immutable ``commit-snapshots/snapshot-<seq>.json``
+checkpoint object whose name records the last folded commit key; after a
+compaction the merge is one snapshot read plus the un-folded tail.  The
+fold is crash-safe by construction:
+
+1. the snapshot (union of every existing snapshot plus the current
+   tail, keyed per record) is written and verified readable *first*;
+2. only then are the folded objects deleted — and only those older than
+   a **grace window**, so a reader that picked up an older snapshot can
+   still visit the tail objects it is about to read;
+3. a compactor that dies between (1) and (2) leaves only folded objects
+   whose record keys the snapshot already carries — the merge skips
+   them by key, so duplicates are harmless and the next compaction
+   simply finishes the deletion.
+
+Records fold *keyed*: every commit record keeps the key of the log
+object it arrived in, and the merge orders records by their embedded
+``created_at_unix`` (falling back to the key's wall-clock stamp) with
+the key as tiebreak — writers on skewed clocks cannot invert
+first-appearance or most-recent-wins semantics.
 """
 
 from __future__ import annotations
@@ -38,11 +64,31 @@ __all__ = [
     "BlobRef",
     "MergedCommitLog",
     "COMMIT_LOG_PREFIX",
+    "SNAPSHOT_PREFIX",
+    "DEFAULT_COMPACT_GRACE",
     "validate_key",
+    "snapshot_key_for",
+    "read_snapshot",
+    "write_snapshot",
+    "load_snapshots",
+    "snapshot_union",
 ]
 
 #: key prefix of per-commit log objects for backends without atomic append
 COMMIT_LOG_PREFIX = "commits/"
+
+#: key prefix of folded commit-log snapshot checkpoint objects
+SNAPSHOT_PREFIX = "commit-snapshots/"
+
+#: seconds a folded log object survives after its snapshot is durable —
+#: long enough for any in-flight reader that saw an older snapshot to
+#: finish its tail scan before the objects it is visiting disappear
+DEFAULT_COMPACT_GRACE = 60.0
+
+_SNAPSHOT_VERSION = 1
+
+#: bounded re-scans when a racing compactor deletes tail objects mid-merge
+_MERGE_ATTEMPTS = 5
 
 
 def validate_key(key: str) -> str:
@@ -62,6 +108,183 @@ def validate_key(key: str) -> str:
             "without empty, '.' or '..' segments"
         )
     return key
+
+
+# --------------------------------------------------------------------------- #
+# commit-log snapshots (shared by the merged log and the localfs rotation)
+# --------------------------------------------------------------------------- #
+def _seq_of(key: str) -> str:
+    """The monotonic sequence token embedded in a log-object key.
+
+    ``commits/<stamp>-<rand>.json``, ``manifest-segments/<stamp>-<rand>.jsonl``
+    and ``commit-snapshots/snapshot-<seq>.json`` all reduce to their
+    ``<stamp>-<rand>`` token, so snapshots and the objects they fold sort
+    on one axis.
+    """
+    name = key.rsplit("/", 1)[-1]
+    name = name.rsplit(".", 1)[0]  # strip the extension only (stamps contain '.')
+    return name[len("snapshot-"):] if name.startswith("snapshot-") else name
+
+
+def snapshot_key_for(seq: str) -> str:
+    """Snapshot object key recording ``seq`` (the last folded commit key)."""
+    return f"{SNAPSHOT_PREFIX}snapshot-{seq}.json"
+
+
+def record_stamp(key: str, record: dict) -> float:
+    """Commit time of one record: ``created_at_unix`` when the record
+    carries it, else the wall-clock stamp embedded in its log-object key."""
+    stamp = record.get("created_at_unix") if isinstance(record, dict) else None
+    if isinstance(stamp, (int, float)) and not isinstance(stamp, bool):
+        return float(stamp)
+    try:
+        return float(_seq_of(key).split("-", 1)[0])
+    except ValueError:
+        return 0.0
+
+
+def _pair_order(pair) -> tuple:
+    key, record = pair
+    return (record_stamp(key, record), key)
+
+
+def read_snapshot(backend: "StorageBackend", key: str):
+    """``[(record_key, record), ...]`` of one snapshot object, or ``None``
+    when the object is missing/foreign/torn (racing compactors)."""
+    try:
+        doc = json.loads(backend.get(key))
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    if not isinstance(doc, dict) or doc.get("version") != _SNAPSHOT_VERSION:
+        return None
+    pairs = doc.get("records")
+    if not isinstance(pairs, list):
+        return None
+    return [(str(k), rec) for k, rec in pairs]
+
+
+def write_snapshot(backend: "StorageBackend", key: str, pairs: list) -> None:
+    """Write one snapshot object and verify it reads back whole.
+
+    The verification gates the compactor's delete phase: folded objects
+    are only ever removed once their records are provably readable from
+    the snapshot.
+    """
+    body = json.dumps(
+        {"version": _SNAPSHOT_VERSION, "records": [[k, rec] for k, rec in pairs]},
+        sort_keys=True,
+    ).encode("utf-8")
+    backend.put(key, body)
+    check = read_snapshot(backend, key)
+    if check is None or len(check) != len(pairs):
+        raise RuntimeError(
+            f"commit-log snapshot {backend.url}/{key} did not verify after "
+            "write; folded objects were NOT deleted"
+        )
+
+
+def load_snapshots(backend: "StorageBackend") -> list:
+    """``[(snapshot_key, pairs), ...]`` for every readable snapshot,
+    oldest first (so record order survives repeated folds)."""
+    snaps = []
+    for key in backend.list(SNAPSHOT_PREFIX):
+        pairs = read_snapshot(backend, key)
+        if pairs is None:
+            continue  # deleted/torn by a racing compactor
+        snaps.append((key, pairs))
+    return snaps
+
+
+def _union(snaps: list) -> dict:
+    """Record-key -> record union over loaded snapshots; duplicate keys
+    across racing snapshots collapse to their first appearance."""
+    folded: dict = {}
+    for _, pairs in snaps:
+        for k, rec in pairs:
+            folded.setdefault(k, rec)
+    return folded
+
+
+def snapshot_union(backend: "StorageBackend") -> tuple:
+    """``({record_key: record}, [snapshot keys])`` over every readable
+    snapshot object."""
+    snaps = load_snapshots(backend)
+    return _union(snaps), [key for key, _ in snaps]
+
+
+def _aged_record_keys(backend: "StorageBackend", snaps: list, grace_seconds: float) -> tuple:
+    """``(record keys safe to delete, whether the newest snapshot aged)``.
+
+    A folded log object may only disappear once the snapshot holding its
+    record has been durable for the full grace window — the window is
+    measured from the *fold*, not from the object's own creation, so an
+    in-flight reader that picked an older snapshot always gets grace
+    seconds to finish its tail scan.  ``grace_seconds <= 0`` waives the
+    window explicitly (tests, the CLI's immediate cleanup).
+    """
+    if not snaps:
+        return set(), False
+    newest_key = snaps[-1][0]
+    if grace_seconds <= 0:
+        return {k for _, pairs in snaps for k, _ in pairs}, True
+    cutoff = time.time() - float(grace_seconds)
+    aged: set = set()
+    newest_aged = False
+    for key, pairs in snaps:
+        try:
+            mtime = backend.mtime(key)
+        except FileNotFoundError:
+            continue  # collected by a racing compactor
+        if mtime <= cutoff:
+            aged.update(k for k, _ in pairs)
+            if key == newest_key:
+                newest_aged = True
+    return aged, newest_aged
+
+
+def _empty_compact_report(url: str) -> dict:
+    return {
+        "url": url,
+        "snapshot": None,
+        "total_records": 0,
+        "folded_records": 0,
+        "deleted_objects": 0,
+        "kept_for_grace": 0,
+    }
+
+
+def _fold_into_snapshot(backend, snaps: list, merged: list, tail_seqs: list, report: dict):
+    """Write the fold (fold + verify FIRST) unless it would be a no-op.
+
+    Shared epilogue of both compactors — the snapshot's name records the
+    last folded commit key (max seq over old snapshots and the tail), so
+    a newer snapshot always supersedes every snapshot it absorbed.
+    Returns ``(snap_key, snaps)`` with ``snaps`` reflecting the write.
+    """
+    snapshot_keys = [key for key, _ in snaps]
+    seq = max([_seq_of(k) for k in snapshot_keys] + list(tail_seqs))
+    snap_key = snapshot_key_for(seq)
+    if tail_seqs or snapshot_keys != [snap_key]:
+        write_snapshot(backend, snap_key, merged)
+        snaps = [(k, p) for k, p in snaps if k != snap_key] + [(snap_key, merged)]
+        report["snapshot"] = snap_key
+    return snap_key, snaps
+
+
+def _gc_superseded_snapshots(
+    backend, snapshot_keys: list, snap_key: str, newest_aged: bool, report: dict
+) -> None:
+    """Collect snapshots the fold absorbed — but only once their successor
+    has aged past the grace window (a reader may still be merging through
+    an old one)."""
+    for key in snapshot_keys:
+        if key == snap_key:
+            continue
+        if newest_aged:
+            if backend.delete(key, missing_ok=True):
+                report["deleted_objects"] += 1
+        else:
+            report["kept_for_grace"] += 1
 
 
 class BlobRef:
@@ -170,7 +393,27 @@ class StorageBackend(ABC):
 
     @abstractmethod
     def clear_commit_log(self) -> None:
-        """Drop the commit log (entries stay; ``reindex`` rebuilds it)."""
+        """Drop the commit log — snapshots included (entries stay;
+        ``reindex`` rebuilds everything from the ``entry.json`` objects)."""
+
+    @abstractmethod
+    def compact(self, grace_seconds: float = DEFAULT_COMPACT_GRACE) -> dict:
+        """Fold the commit log into one snapshot checkpoint object.
+
+        Fold first, verify the snapshot is readable, then delete folded
+        objects older than ``grace_seconds``.  Safe to race with
+        appenders and other compactors: no commit record is ever lost,
+        and a crashed compactor leaves only duplicates the merge dedupes
+        by record key.  Returns a report dict (``snapshot``,
+        ``total_records``, ``folded_records``, ``deleted_objects``,
+        ``kept_for_grace``).
+        """
+
+    @abstractmethod
+    def commit_log_tail_count(self) -> int:
+        """Commit records not yet folded into a snapshot — the number of
+        log reads :meth:`commit_records` pays beyond the snapshot, which
+        is what the store's auto-compaction thresholds on."""
 
     # ------------------------------------------------------------------ #
     def ref(self, key: str) -> BlobRef:
@@ -191,10 +434,15 @@ class MergedCommitLog:
 
     Each :meth:`append_commit` writes one immutable object under
     ``commits/`` whose name embeds a zero-padded wall-clock timestamp plus
-    a random suffix, so plain lexicographic key order is (approximate)
-    commit order and two racing writers can never clobber each other —
+    a random suffix, so two racing writers can never clobber each other —
     the merge happens at read time in :meth:`commit_records`, which is
-    exactly the path ``ResultsStore.index()`` exercises.
+    exactly the path ``ResultsStore.index()`` exercises.  :meth:`compact`
+    folds the accumulated objects into one snapshot checkpoint (see the
+    module docstring), after which the merge is one snapshot read plus
+    the un-folded tail.  Merged records are ordered by their true commit
+    time (``created_at_unix``, key stamp as fallback, key as tiebreak),
+    not by lexicographic key order — a writer on a skewed clock stamps a
+    misleading key but cannot reorder the log.
     """
 
     def append_commit(self, record: dict) -> None:
@@ -202,15 +450,91 @@ class MergedCommitLog:
         key = f"{COMMIT_LOG_PREFIX}{stamp}-{uuid.uuid4().hex[:12]}.json"
         self.put(key, json.dumps(record, sort_keys=True).encode("utf-8"))
 
+    def _merged_pairs(self) -> list:
+        """Snapshot records + un-folded tail, as ordered (key, record) pairs.
+
+        A racing compactor may fold-and-delete tail objects after we
+        picked our snapshots — their records live in a *newer* snapshot.
+        That race is visible either as a tail read miss or (when the
+        delete landed before our tail listing) as a changed snapshot
+        listing, so both trigger a bounded re-scan rather than a loss.
+        """
+        last = _MERGE_ATTEMPTS - 1
+        for attempt in range(_MERGE_ATTEMPTS):
+            snap_keys = self.list(SNAPSHOT_PREFIX)
+            folded: dict = {}
+            for skey in snap_keys:
+                pairs = read_snapshot(self, skey)
+                if pairs is None:
+                    continue  # deleted/torn by a racing compactor
+                for k, rec in pairs:
+                    folded.setdefault(k, rec)
+            tail, racing = [], False
+            for key in self.list(COMMIT_LOG_PREFIX):
+                if key in folded:
+                    continue  # crashed compactor's leftover; already in a snapshot
+                try:
+                    tail.append((key, json.loads(self.get(key))))
+                except FileNotFoundError:
+                    racing = True
+                    if attempt < last:
+                        break
+                except json.JSONDecodeError:
+                    continue  # foreign or torn object
+            if self.list(SNAPSHOT_PREFIX) != snap_keys:
+                racing = True  # a fold completed somewhere mid-scan
+            if racing and attempt < last:
+                continue
+            pairs = list(folded.items()) + tail
+            pairs.sort(key=_pair_order)
+            return pairs
+        return []  # pragma: no cover - loop always returns
+
     def commit_records(self) -> list:
-        records = []
+        return [rec for _, rec in self._merged_pairs()]
+
+    def commit_log_tail_count(self) -> int:
+        folded, _ = snapshot_union(self)
+        return sum(1 for key in self.list(COMMIT_LOG_PREFIX) if key not in folded)
+
+    def compact(self, grace_seconds: float = DEFAULT_COMPACT_GRACE) -> dict:
+        snaps = load_snapshots(self)
+        folded = _union(snaps)
+        tail = []
         for key in self.list(COMMIT_LOG_PREFIX):
+            if key in folded:
+                continue
             try:
-                records.append(json.loads(self.get(key)))
+                tail.append((key, json.loads(self.get(key))))
             except (FileNotFoundError, json.JSONDecodeError):
-                continue  # racing compaction/GC, or a foreign object
-        return records
+                continue  # racing compactor / foreign object
+        merged = list(folded.items()) + tail
+        merged.sort(key=_pair_order)
+        report = _empty_compact_report(self.url)
+        report["total_records"] = len(merged)
+        report["folded_records"] = len(tail)
+        if not merged:
+            return report
+        snapshot_keys = [key for key, _ in snaps]
+        snap_key, snaps = _fold_into_snapshot(
+            self, snaps, merged, [_seq_of(k) for k, _ in tail], report
+        )
+        # ...then delete what the snapshots supersede — but only records
+        # whose snapshot has been durable past the grace window, so a
+        # reader mid-merge on an older snapshot never loses its tail.
+        # An object appended after our scan is the next compaction's
+        # business; a crashed run here leaves only key-deduped leftovers.
+        merged_keys = {k for k, _ in merged}
+        aged_keys, newest_aged = _aged_record_keys(self, snaps, float(grace_seconds))
+        for key in self.list(COMMIT_LOG_PREFIX):
+            if key in aged_keys:
+                if self.delete(key, missing_ok=True):
+                    report["deleted_objects"] += 1
+            elif key in merged_keys:
+                report["kept_for_grace"] += 1
+        _gc_superseded_snapshots(self, snapshot_keys, snap_key, newest_aged, report)
+        return report
 
     def clear_commit_log(self) -> None:
-        for key in self.list(COMMIT_LOG_PREFIX):
+        for key in self.list(COMMIT_LOG_PREFIX) + self.list(SNAPSHOT_PREFIX):
             self.delete(key, missing_ok=True)

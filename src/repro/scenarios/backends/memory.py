@@ -6,7 +6,7 @@ the same URL in one process shares one namespace, so thread-pool writers
 genuinely race on shared state.  The backend deliberately has *no* atomic
 append primitive — it inherits the :class:`MergedCommitLog` per-commit
 log objects, so fast tests exercise exactly the merged-log ``index()``
-path the object-store backend relies on.
+path the object-store backend relies on, snapshot compaction included.
 
 State never leaves the process: a forked/spawned worker opening the same
 URL sees an empty namespace, which is why ``process_shared`` is False and

@@ -5,7 +5,9 @@ client API — ``put_object``/``get_object``/``list_objects``/
 ``delete_object``/``head_object``, whole objects only, no appends, no
 renames — which is the honest common denominator of real object stores.
 The commit log therefore uses the :class:`MergedCommitLog` per-commit
-objects merged at ``index()`` time instead of ``O_APPEND``.
+objects merged at ``index()`` time instead of ``O_APPEND``, compacted
+into immutable snapshot checkpoints as the log grows (see
+:mod:`repro.scenarios.backends.base`).
 
 Endpoints
 ---------

@@ -13,6 +13,8 @@ Key layout (identical across backends)::
 
     manifest.log                # file://: append-only JSONL, one line per commit
     commits/<stamp>-<rand>.json # mem://, s3://: one immutable object per commit
+    commit-snapshots/snapshot-<seq>.json  # compacted commit-log checkpoint
+    manifest-segments/<stamp>-<rand>.jsonl  # file://: rotated log awaiting the fold
     manifest.v1.json            # parked copy of a migrated legacy manifest
     <hash16>/                   # one key prefix per scenario content hash
       entry.json                # the manifest entry, committed atomically
@@ -33,7 +35,11 @@ Concurrency model — no locks anywhere:
   filesystems it is the classic ``manifest.log`` ``O_APPEND`` JSONL; on
   backends without an atomic append primitive every commit is its own
   immutable ``commits/*`` object and the log is *merged at read time* —
-  the multi-writer semantics survive on a plain object API.  Either way
+  the multi-writer semantics survive on a plain object API.  Long-lived
+  logs are folded into an immutable ``commit-snapshots/`` checkpoint
+  (:meth:`ResultsStore.compact`; auto-run from :meth:`ResultsStore.index`
+  past a tail threshold), so discovery stays one snapshot read plus the
+  un-folded tail however many commits the store has absorbed.  Either way
   the log may contain duplicates (re-runs) and may miss a hash after a
   crash between entry write and log append; :meth:`ResultsStore.reindex`
   (also retried automatically on hash lookup misses) repairs that from
@@ -58,7 +64,9 @@ which code was it produced".
 from __future__ import annotations
 
 import json
+import os
 import platform
+import re
 import time
 from datetime import datetime, timezone
 from pathlib import Path, PurePosixPath
@@ -68,6 +76,7 @@ import numpy as np
 from repro.core.time_iteration import TimeIterationResult
 from repro.scenarios import serialize
 from repro.scenarios.backends import (
+    COMMIT_LOG_PREFIX,
     BlobRef,
     LocalFSBackend,
     StorageBackend,
@@ -75,12 +84,24 @@ from repro.scenarios.backends import (
     is_store_url,
 )
 from repro.scenarios.spec import ScenarioSpec
+from repro.utils.logging import get_logger
 
 __all__ = ["ResultsStore", "ScenarioStore"]
+
+logger = get_logger("scenarios.store")
 
 _STORE_LAYOUT_VERSION = 2
 _LEGACY_MANIFEST_VERSION = 1
 _DIR_HASH_CHARS = 16
+
+#: environment override for the auto-compaction tail threshold (``0``
+#: disables auto-compaction entirely)
+AUTO_COMPACT_TAIL_ENV = "REPRO_STORE_AUTO_COMPACT_TAIL"
+_AUTO_COMPACT_TAIL_DEFAULT = 512
+
+#: checkpoint object names the store recognises: the canonical
+#: ``checkpoint.npz`` plus iteration-stamped ``checkpoint-<iter>.npz``
+_CHECKPOINT_KEY_RE = re.compile(r"/checkpoint(?:-(\d+))?\.npz$")
 
 #: keys of an entry copied onto its commit-log record (enough for discovery
 #: and wall-time-aware scheduling without opening any entry.json)
@@ -111,13 +132,19 @@ class ResultsStore:
     LEGACY_MANIFEST = "manifest.json"
     ENTRY_FILE = "entry.json"
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, auto_compact_tail: int | None = None) -> None:
         """Open a store on a backend, URL, or plain local path.
 
         ``root`` may be a :class:`StorageBackend` instance, a store URL
         (``file://``/``mem://``/``s3://`` — see
         :func:`repro.scenarios.backends.backend_from_url`) or a local
         filesystem path (the historical form, equivalent to ``file://``).
+
+        ``auto_compact_tail`` caps how many un-folded commit records
+        :meth:`index` tolerates before folding the log into a snapshot
+        checkpoint (see :meth:`compact`).  ``0`` disables auto-compaction;
+        ``None`` (default) reads ``REPRO_STORE_AUTO_COMPACT_TAIL`` and
+        falls back to 512.
         """
         if isinstance(root, StorageBackend):
             self.backend = root
@@ -127,12 +154,25 @@ class ResultsStore:
             self.backend = LocalFSBackend(root)
         #: backing directory for file:// stores, ``None`` otherwise
         self.root = self.backend.local_root
+        if auto_compact_tail is None:
+            raw = os.environ.get(AUTO_COMPACT_TAIL_ENV, "").strip()
+            try:
+                auto_compact_tail = int(raw) if raw else _AUTO_COMPACT_TAIL_DEFAULT
+            except ValueError:
+                # a typo'd variable must not crash every store open — the
+                # threshold is housekeeping config, not a correctness knob
+                logger.warning(
+                    "ignoring non-integer %s=%r (using %d)",
+                    AUTO_COMPACT_TAIL_ENV, raw, _AUTO_COMPACT_TAIL_DEFAULT,
+                )
+                auto_compact_tail = _AUTO_COMPACT_TAIL_DEFAULT
+        self.auto_compact_tail = max(0, int(auto_compact_tail))
         self._migrate_legacy_manifest()
 
     @classmethod
-    def open(cls, url) -> "ResultsStore":
+    def open(cls, url, **kwargs) -> "ResultsStore":
         """Open a store from a URL (or plain path); see :meth:`__init__`."""
-        return cls(url)
+        return cls(url, **kwargs)
 
     @property
     def url(self) -> str:
@@ -290,17 +330,63 @@ class ResultsStore:
         """Rebuild the hash -> entry index from the log + entry objects.
 
         The log supplies the hash set cheaply (for merged-log backends
-        this is exactly the merge of the per-commit objects); each entry
+        this is one snapshot read plus the un-folded tail); each entry
         is then re-read from its authoritative ``entry.json`` (the log
         record is never trusted for content).  Hashes whose entry object
-        vanished (pruned directory) are dropped.
+        vanished (pruned directory) are dropped.  When the un-folded
+        tail has outgrown ``auto_compact_tail``, the log is first folded
+        into a snapshot checkpoint so the *next* index stays cheap —
+        best-effort housekeeping that never fails the read itself.
         """
+        self._maybe_auto_compact()
         index = {}
         for h in self.known_hashes():
             entry = self.entry(h)
             if entry is not None:
                 index[h] = entry
         return index
+
+    def compact(self, grace_seconds: float | None = None) -> dict:
+        """Fold the commit log into one immutable snapshot checkpoint.
+
+        After a compaction, reading the log costs one snapshot object
+        read plus the un-folded tail instead of O(total commits ever).
+        Crash-safe and race-safe: the snapshot is written and verified
+        *before* anything is deleted, folded objects only disappear once
+        their snapshot has aged past the grace window (``None`` keeps
+        the backend's default, generous enough for in-flight readers),
+        and a compactor dying mid-way leaves only duplicates the merge
+        dedupes by key.  Returns the backend's report dict.
+        """
+        if grace_seconds is None:
+            return self.backend.compact()
+        return self.backend.compact(grace_seconds=float(grace_seconds))
+
+    def _maybe_auto_compact(self) -> None:
+        if not self.auto_compact_tail:
+            return
+        try:
+            # cheap upper bound first — one listing, no object-body reads
+            # (present commits/* objects = un-folded tail + grace
+            # leftovers).  Only when that bound trips does the exact
+            # count (one snapshot read) run, so the steady-state index()
+            # pays a single list call for this check.  localfs lists
+            # nothing under commits/; its exact count is local file I/O.
+            approx = len(self.backend.list(COMMIT_LOG_PREFIX))
+            if self.backend.local_root is not None:
+                approx = self.backend.commit_log_tail_count()
+            if approx <= self.auto_compact_tail:
+                return
+            if self.backend.commit_log_tail_count() > self.auto_compact_tail:
+                report = self.compact()
+                logger.info(
+                    "auto-compacted %s: %d record(s) -> %s",
+                    self.url,
+                    report["total_records"],
+                    report["snapshot"],
+                )
+        except Exception as exc:  # noqa: BLE001 - housekeeping must not fail reads
+            logger.warning("auto-compaction of %s failed: %s", self.url, exc)
 
     def _entry_keys(self) -> list:
         """All ``<hash16>/entry.json`` keys actually present on the backend."""
@@ -355,7 +441,15 @@ class ResultsStore:
         """
         prefix = str(prefix)
         if len(prefix) >= 64:
-            return prefix
+            # a full-length hash is validated too: a typo'd 64-char hash
+            # must fail here with the clean KeyError, not later as a bare
+            # FileNotFoundError from whatever backend key it composes
+            entry = self.entry(prefix)
+            if entry is not None and entry.get("spec_hash") == prefix:
+                return prefix
+            if prefix in self.known_hashes() or prefix in self.reindex():
+                return prefix
+            raise KeyError(f"no store entry matches hash {prefix!r}")
         matches = sorted(h for h in self.known_hashes() if h.startswith(prefix))
         if not matches:
             matches = sorted(h for h in self.reindex() if h.startswith(prefix))
@@ -514,7 +608,8 @@ class ResultsStore:
         """
         infos = []
         for key in self.backend.list():
-            if key.count("/") != 1 or not key.endswith("/checkpoint.npz"):
+            match = _CHECKPOINT_KEY_RE.search(key)
+            if key.count("/") != 1 or match is None:
                 continue
             directory = key.split("/", 1)[0]
             entry = self.entry(directory) or {}
@@ -527,6 +622,7 @@ class ResultsStore:
                 "path": str(self.root / key) if self.root is not None else f"{self.url}/{key}",
                 "directory": directory,
                 "mtime": mtime,
+                "key_iteration": int(match.group(1)) if match.group(1) else None,
                 "spec_hash": entry.get("spec_hash", directory),
                 "name": entry.get("name", "?"),
                 "status": entry.get("status", "unknown"),
@@ -539,7 +635,23 @@ class ResultsStore:
                 except Exception:  # noqa: BLE001 - a corrupt checkpoint is reported, not fatal
                     info["iterations_done"] = None
             infos.append(info)
-        infos.sort(key=lambda i: i["mtime"], reverse=True)
+        # newest-first by mtime — but mtime is upload-time with coarse
+        # granularity on object stores, where a same-second tie could let
+        # ``keep_last_n`` drop the newest checkpoint.  Within an mtime tie
+        # the iteration number parsed from an iteration-stamped key is the
+        # authoritative progress marker (iterations of *different*
+        # scenarios are deliberately not ranked against distinct mtimes:
+        # a stale high-iteration checkpoint must not outrank a fresh
+        # canonical ``checkpoint.npz``); the key itself is the final
+        # deterministic tiebreak.
+        infos.sort(
+            key=lambda i: (
+                i["mtime"],
+                -1 if i["key_iteration"] is None else i["key_iteration"],
+                i["key"],
+            ),
+            reverse=True,
+        )
         return infos
 
     def gc_checkpoints(

@@ -1,6 +1,21 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The expensive session-scope fixtures (the fitted 5-d grid and the solved
+small OLG economy) can be cached across pytest runs: point
+``REPRO_TEST_FIXTURE_CACHE`` at a directory and their computed state is
+persisted there through the bit-exact :mod:`repro.scenarios.serialize`
+round trips.  CI restores that directory via ``actions/cache`` keyed on
+a hash of ``src/`` plus a fingerprint of the installed dependencies, so
+the cache can never outlive the code or the numpy that produced it;
+locally the variable is an explicit opt-in.  Loaded state is
+sanity-checked (shapes, solver config) and silently recomputed on any
+mismatch or corruption.
+"""
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -11,6 +26,17 @@ from repro.grids.hierarchize import hierarchize
 from repro.grids.regular import regular_sparse_grid
 from repro.olg.calibration import small_calibration
 from repro.olg.model import OLGModel
+from repro.scenarios import serialize
+
+
+def _fixture_cache_path(name: str) -> Path | None:
+    """Cache file for one session fixture, or ``None`` when caching is off."""
+    root = os.environ.get("REPRO_TEST_FIXTURE_CACHE", "").strip()
+    if not root:
+        return None
+    path = Path(root).expanduser() / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -45,7 +71,19 @@ def fitted_grid_5d(grid_5d_level4):
         )
 
     values = func(grid.points)
-    surplus = hierarchize(grid, values)
+    cache = _fixture_cache_path("fitted_grid_5d-v1.npy")
+    surplus = None
+    if cache is not None and cache.exists():
+        try:
+            loaded = np.load(cache)
+        except Exception:  # noqa: BLE001 - a torn/corrupt cache means recompute
+            loaded = None
+        if loaded is not None and loaded.shape == values.shape:  # stale-cache guard
+            surplus = loaded
+    if surplus is None:
+        surplus = hierarchize(grid, values)
+        if cache is not None:
+            np.save(cache, surplus)
     return grid, surplus, func
 
 
@@ -68,6 +106,19 @@ def solved_small_olg(small_olg_model):
     config = TimeIterationConfig(
         grid_level=2, tolerance=2e-3, max_iterations=30, convergence_metric="rel_linf"
     )
+    cache = _fixture_cache_path("solved_small_olg-v1.npz")
+    if cache is not None and cache.exists():
+        try:
+            result = serialize.load_result(cache)
+        except Exception:  # noqa: BLE001 - a corrupt/stale cache means recompute
+            result = None
+        else:
+            if serialize.config_to_dict(result.config) != serialize.config_to_dict(config):
+                result = None  # solver settings changed; the cache is stale
+        if result is not None:
+            return small_olg_model, result
     solver = TimeIterationSolver(small_olg_model, config)
     result = solver.solve()
+    if cache is not None:
+        serialize.save_result(cache, result)
     return small_olg_model, result

@@ -12,6 +12,7 @@ identically for every backend, current and future.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 
@@ -26,7 +27,7 @@ from repro.scenarios import (
     run_suite,
 )
 from repro.scenarios.__main__ import main as cli_main
-from repro.scenarios.backends import COMMIT_LOG_PREFIX
+from repro.scenarios.backends import COMMIT_LOG_PREFIX, SNAPSHOT_PREFIX
 
 # --------------------------------------------------------------------------- #
 # helpers
@@ -194,6 +195,190 @@ class TestCommitLogContract:
 
 
 # --------------------------------------------------------------------------- #
+# commit-log compaction: snapshot checkpoints fold the log
+# --------------------------------------------------------------------------- #
+class TestCompactionContract:
+    """The :meth:`compact` half of the commit-log contract, uniformly on
+    ``file://`` (manifest.log rotation), ``mem://`` and ``s3://`` (merged
+    per-commit objects)."""
+
+    @staticmethod
+    def _records(n, start=0):
+        return [
+            {"spec_hash": f"hash-{i:04d}", "status": "completed", "wall_time": float(i + 1)}
+            for i in range(start, start + n)
+        ]
+
+    def test_compact_preserves_records_and_resets_the_tail(self, backend):
+        records = self._records(6)
+        for rec in records:
+            backend.append_commit(rec)
+        assert backend.commit_log_tail_count() == 6
+        report = backend.compact(grace_seconds=0)
+        assert report["snapshot"] is not None
+        assert report["snapshot"].startswith(SNAPSHOT_PREFIX)
+        assert report["folded_records"] == 6 and report["total_records"] == 6
+        assert backend.commit_records() == records  # content and order intact
+        assert backend.commit_log_tail_count() == 0
+        # appends after the fold are the new tail, read after the snapshot
+        extra = self._records(2, start=6)
+        for rec in extra:
+            backend.append_commit(rec)
+        assert backend.commit_log_tail_count() == 2
+        assert backend.commit_records() == records + extra
+
+    def test_double_compaction_is_idempotent(self, backend):
+        records = self._records(4)
+        for rec in records:
+            backend.append_commit(rec)
+        first = backend.compact(grace_seconds=0)
+        again = backend.compact(grace_seconds=0)
+        assert first["folded_records"] == 4
+        assert again["folded_records"] == 0 and again["snapshot"] is None
+        assert backend.commit_records() == records
+        assert backend.list(SNAPSHOT_PREFIX) == [first["snapshot"]]
+
+    def test_repeated_folds_accumulate_into_one_snapshot(self, backend):
+        records = []
+        for round_ in range(3):
+            batch = self._records(3, start=3 * round_)
+            for rec in batch:
+                backend.append_commit(rec)
+            records += batch
+            backend.compact(grace_seconds=0)
+            assert backend.commit_records() == records
+            # older snapshots are superseded and collected
+            assert len(backend.list(SNAPSHOT_PREFIX)) == 1
+
+    def test_crash_between_fold_and_delete_self_heals(self, backend):
+        """Fold-first ordering: a compactor that dies after writing the
+        snapshot but before deleting the folded objects leaves only
+        duplicates the merge dedupes by key — and the next compaction
+        finishes the deletion."""
+        records = self._records(5)
+        for rec in records:
+            backend.append_commit(rec)
+        # an infinite grace window IS the crash: snapshot durable, folded
+        # objects still present
+        report = backend.compact(grace_seconds=1e9)
+        assert report["snapshot"] is not None
+        assert report["deleted_objects"] == 0 and report["kept_for_grace"] > 0
+        assert backend.commit_records() == records  # no duplicates surface
+        assert backend.commit_log_tail_count() == 0  # folded, just not deleted
+        healed = backend.compact(grace_seconds=0)
+        assert healed["deleted_objects"] > 0
+        assert backend.commit_records() == records
+        assert backend.compact(grace_seconds=0)["deleted_objects"] == 0
+
+    def test_compactor_racing_appenders_loses_nothing(self, backend):
+        """Appenders hammer the log while a compactor folds it repeatedly;
+        every record must survive into the final snapshot."""
+        per_thread, threads = 12, 4
+        stop = threading.Event()
+
+        def append_batch(tid):
+            for i in range(per_thread):
+                backend.append_commit({"spec_hash": f"race-{tid}-{i:03d}"})
+
+        def compact_loop():
+            while not stop.is_set():
+                # a small grace keeps tail objects visible to readers that
+                # raced the fold; the final compact below cleans up
+                backend.compact(grace_seconds=0.05)
+
+        workers = [
+            threading.Thread(target=append_batch, args=(tid,)) for tid in range(threads)
+        ]
+        compactor = threading.Thread(target=compact_loop)
+        compactor.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        compactor.join()
+        time.sleep(0.06)  # let the last grace window lapse
+        backend.compact(grace_seconds=0)
+        got = sorted(rec["spec_hash"] for rec in backend.commit_records())
+        want = sorted(
+            f"race-{tid}-{i:03d}" for tid in range(threads) for i in range(per_thread)
+        )
+        assert got == want
+        assert backend.commit_log_tail_count() == 0
+
+    def test_concurrent_readers_see_whole_log_during_compaction(self, backend):
+        records = self._records(30)
+        for rec in records:
+            backend.append_commit(rec)
+        errors = []
+
+        def read_loop():
+            for _ in range(20):
+                seen = {rec["spec_hash"] for rec in backend.commit_records()}
+                missing = {rec["spec_hash"] for rec in records} - seen
+                if missing:  # pragma: no cover - only on contract violation
+                    errors.append(missing)
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        backend.compact(grace_seconds=0.05)
+        backend.compact(grace_seconds=0)
+        reader.join()
+        assert not errors, f"readers lost records mid-compaction: {errors[:3]}"
+
+    def test_clear_commit_log_drops_snapshots_too(self, backend):
+        for rec in self._records(3):
+            backend.append_commit(rec)
+        backend.compact(grace_seconds=0)
+        assert backend.list(SNAPSHOT_PREFIX) != []
+        backend.clear_commit_log()
+        assert backend.commit_records() == []
+        assert backend.list(SNAPSHOT_PREFIX) == []
+        assert backend.commit_log_tail_count() == 0
+
+    def test_compact_on_empty_log_is_a_noop(self, backend):
+        report = backend.compact(grace_seconds=0)
+        assert report["snapshot"] is None
+        assert report["total_records"] == 0 and report["deleted_objects"] == 0
+        assert backend.commit_records() == []
+
+    @pytest.mark.parametrize("scheme", ["mem", "s3"])
+    def test_skewed_clock_stamps_do_not_reorder_records(self, scheme, store_url_for):
+        """Satellite regression: lexicographic key order embeds a writer's
+        wall clock, so a skewed-fast writer used to jump the queue.  The
+        merge orders by the record-level ``created_at_unix`` instead."""
+        store = ResultsStore.open(store_url_for(scheme))
+        backend = store.backend
+        early = {"spec_hash": "h-early", "status": "completed",
+                 "wall_time": 10.0, "created_at_unix": 100.0}
+        late = {"spec_hash": "h-late", "status": "completed",
+                "wall_time": 20.0, "created_at_unix": 200.0}
+        # the skewed-fast writer stamps a huge wall clock into its KEY
+        backend.put(
+            f"{COMMIT_LOG_PREFIX}{9999999999.0:017.6f}-skewed.json",
+            json.dumps(early).encode(),
+        )
+        backend.put(
+            f"{COMMIT_LOG_PREFIX}{1000000000.0:017.6f}-ontime.json",
+            json.dumps(late).encode(),
+        )
+        assert backend.commit_records() == [early, late]
+        assert store.known_hashes() == ["h-early", "h-late"]  # true first-appearance
+        # "most recent completed wins": same hash, inverted key order
+        rerun = {"spec_hash": "h-early", "status": "completed",
+                 "wall_time": 30.0, "created_at_unix": 300.0}
+        backend.put(
+            f"{COMMIT_LOG_PREFIX}{1000000001.0:017.6f}-ontime2.json",
+            json.dumps(rerun).encode(),
+        )
+        assert store.wall_times()["h-early"] == 30.0
+        # the ordering survives folding into a snapshot
+        backend.compact(grace_seconds=0)
+        assert backend.commit_records() == [early, late, rerun]
+        assert store.wall_times()["h-early"] == 30.0
+
+
+# --------------------------------------------------------------------------- #
 # store-level contract
 # --------------------------------------------------------------------------- #
 class TestStoreContract:
@@ -312,6 +497,218 @@ class TestStoreContract:
         store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
         text = store.describe()
         assert spec.name in text and store.url in text
+
+    def test_resolve_full_length_hash_is_validated(self, store):
+        """Satellite regression: a mistyped full-length hash must raise the
+        clean KeyError at resolve time, not surface later as a bare
+        FileNotFoundError from whatever backend key it composes."""
+        spec = _payload_spec(0)
+        store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
+        full = spec.content_hash()
+        assert store.resolve_hash(full) == full
+        with pytest.raises(KeyError, match="no store entry matches"):
+            store.resolve_hash("f" * 64)
+        # a 64-char hash colliding with a real entry's 16-char directory
+        # prefix but differing beyond it is a miss too
+        impostor = full[:16] + "f" * 48
+        if impostor != full:
+            with pytest.raises(KeyError, match="no store entry matches"):
+                store.resolve_hash(impostor)
+        # ...and a full hash whose log record was lost still resolves
+        # through the reindex retry, exactly like prefixes do
+        store.backend.clear_commit_log()
+        assert store.resolve_hash(full) == full
+
+    def test_reindex_after_clear_recovers_everything_post_compaction(
+        self, store, any_store_url
+    ):
+        """Snapshot-aware self-healing: compact, drop the whole log
+        (snapshot included), and reindex must still recover every entry
+        from the authoritative ``entry.json`` objects."""
+        specs = [_payload_spec(i) for i in range(4)]
+        for spec in specs:
+            store.commit_entry(store.write_payload(spec, {"i": spec.name}, wall_time=1.0))
+        store.compact(grace_seconds=0)
+        store.backend.clear_commit_log()
+        assert store.index() == {}
+        healed = ResultsStore.open(any_store_url).reindex()
+        assert set(healed) == {s.content_hash() for s in specs}
+        # and the healed log compacts cleanly again
+        store.compact(grace_seconds=0)
+        assert set(store.index()) == {s.content_hash() for s in specs}
+
+    def test_checkpoint_gc_ties_keep_the_highest_iteration(self, store_url_for):
+        """Satellite regression: ``keep_last_n`` ordered purely by backend
+        mtime, which is coarse upload-time on object stores — a same-second
+        tie could delete the newest checkpoint.  Within an mtime tie the
+        iteration number parsed from an iteration-stamped key now decides;
+        across *distinct* mtimes recency still rules, so a stale
+        high-iteration checkpoint cannot outrank a fresh canonical one."""
+        store = ResultsStore.open(store_url_for("file"))
+        halted = []
+        for i, iteration in enumerate([12, 5, 3]):  # most-advanced written FIRST
+            spec = _payload_spec(i, name=f"tied-{i}")
+            store.commit_entry(store.failure_entry(spec, "interrupted", 1.0, "killed"))
+            key = f"{store.scenario_key(spec)}/checkpoint-{iteration}.npz"
+            store.backend.put(key, b"resumable")
+            halted.append((spec, iteration))
+        # coarse object-store clock: all three land on one mtime tick
+        stamp = time.time() - 60
+        for spec, iteration in halted:
+            os.utime(
+                store.root / store.scenario_key(spec) / f"checkpoint-{iteration}.npz",
+                (stamp, stamp),
+            )
+        listed = store.list_checkpoints()
+        assert [i["key_iteration"] for i in listed] == [12, 5, 3]
+        # an undefined/arbitrary tie order could have kept iteration 3;
+        # the iteration number is the authoritative progress marker
+        removed = store.gc_checkpoints(keep_last_n=1)
+        assert len(removed) == 2
+        survivors = store.list_checkpoints()
+        assert len(survivors) == 1
+        assert survivors[0]["key_iteration"] == 12
+        assert survivors[0]["directory"] == store.scenario_key(halted[0][0])
+        # ...but a genuinely fresher canonical checkpoint.npz outranks the
+        # stale iteration-stamped survivor: iterations of different
+        # scenarios are never compared across distinct mtimes
+        fresh = _payload_spec(9, name="fresh")
+        store.commit_entry(store.failure_entry(fresh, "interrupted", 1.0, "killed"))
+        store.checkpoint_ref(fresh).write_bytes(b"resumable")
+        assert store.list_checkpoints()[0]["directory"] == store.scenario_key(fresh)
+
+    def test_auto_compact_tail_env_typo_does_not_crash_open(
+        self, store_url_for, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE_AUTO_COMPACT_TAIL", "off")
+        store = ResultsStore.open(store_url_for("file", name="env-typo"))
+        assert store.auto_compact_tail == 512  # fell back to the default
+
+
+class TestStoreCompaction:
+    """Store-level compaction: O(tail) indexing and auto-compaction."""
+
+    def _fill(self, store, hashes=10, commits_per_hash=100):
+        specs = [_payload_spec(i) for i in range(hashes)]
+        for spec in specs:
+            store.commit_entry(store.write_payload(spec, {"i": spec.name}, wall_time=1.0))
+        # simulate a long-lived store: re-run commit records accumulate in
+        # the log without rewriting the entries
+        for spec in specs:
+            base = store.entry(spec)
+            for rerun in range(commits_per_hash - 1):
+                store.backend.append_commit(
+                    {
+                        "spec_hash": spec.content_hash(),
+                        "name": spec.name,
+                        "kind": spec.kind,
+                        "status": "completed",
+                        "wall_time": 1.0 + rerun,
+                        "created_at_unix": base["created_at_unix"] + rerun + 1,
+                    }
+                )
+        return specs
+
+    @pytest.mark.parametrize("scheme", ["mem", "s3"])
+    def test_index_after_compaction_is_one_snapshot_plus_tail(
+        self, scheme, store_url_for
+    ):
+        """Acceptance: 1,000 committed records index through ONE snapshot
+        object plus the un-folded tail — object ``get`` calls drop from
+        O(total commits ever) to O(tail)."""
+        store = ResultsStore.open(store_url_for(scheme))
+        store.auto_compact_tail = 0  # count the uncompacted baseline honestly
+        specs = self._fill(store, hashes=10, commits_per_hash=100)
+        backend = store.backend
+        counted = {"get": 0}
+        original_get = backend.get
+
+        def counting_get(key):
+            counted["get"] += 1
+            return original_get(key)
+
+        backend.get = counting_get
+        expected = {s.content_hash() for s in specs}
+        assert set(store.index()) == expected
+        baseline = counted["get"]
+        assert baseline >= 1000  # one read per commit object, plus entries
+
+        report = store.compact(grace_seconds=0)
+        assert report["total_records"] == 1000
+        counted["get"] = 0
+        assert set(store.index()) == expected
+        compacted = counted["get"]
+        # one snapshot read + 10 entry.json reads (+0 tail objects)
+        assert compacted <= 1 + len(specs) + 2
+        assert compacted < baseline / 20
+
+        # fresh appends are read individually again — O(tail), not O(total)
+        store.commit_entry(store.write_payload(specs[0], {"rerun": True}, wall_time=2.0))
+        counted["get"] = 0
+        assert set(store.index()) == expected
+        assert counted["get"] <= 1 + 1 + len(specs) + 2
+
+    def test_index_auto_compacts_past_the_tail_threshold(self, store):
+        store.auto_compact_tail = 8
+        specs = [_payload_spec(i) for i in range(3)]
+        for spec in specs:
+            store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
+        assert store.backend.commit_log_tail_count() == 3
+        store.index()  # under threshold: no compaction
+        assert store.backend.commit_log_tail_count() == 3
+        for i, spec in enumerate(specs * 2):
+            # re-run commits of the same hashes land in the log as-is
+            store.backend.append_commit(
+                {"spec_hash": spec.content_hash(), "status": "completed",
+                 "wall_time": 2.0 + i}
+            )
+        assert store.backend.commit_log_tail_count() == 9
+        assert set(store.index()) == {s.content_hash() for s in specs}
+        # 9 > 8: index folded the log as housekeeping (grace window keeps
+        # the folded objects around; the tail count is what matters)
+        assert store.backend.commit_log_tail_count() == 0
+        assert len(store.log_records()) == 9
+
+    def test_auto_compact_threshold_from_environment(self, store_url_for, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_AUTO_COMPACT_TAIL", "7")
+        store = ResultsStore.open(store_url_for("file", name="env-thresh"))
+        assert store.auto_compact_tail == 7
+        monkeypatch.setenv("REPRO_STORE_AUTO_COMPACT_TAIL", "0")
+        disabled = ResultsStore.open(store_url_for("file", name="env-off"))
+        assert disabled.auto_compact_tail == 0
+
+    def test_kill_resume_survives_a_compacted_store(self, store):
+        """Compaction between the kill and the resume must not disturb
+        checkpoints or skip-by-hash discovery."""
+        suite = ScenarioSuite("one", [_tiny_solve_spec("compact-kill")])
+        broken = run_suite(suite, store, interrupt_after=1)
+        assert broken.count("interrupted") == 1
+        store.compact(grace_seconds=0)
+        assert len(store.list_checkpoints()) == 1  # checkpoint untouched
+        fixed = run_suite(suite, store)
+        assert fixed.count("completed") == 1
+        assert store.entry(suite[0])["resumed"] is True
+        store.compact(grace_seconds=0)
+        assert run_suite(suite, store).count("skipped") == 1
+
+    def test_cli_compact_reports_and_is_idempotent(self, store_url_for, capsys):
+        url = store_url_for("s3", name="cli-compact")
+        store = ResultsStore.open(url)
+        for i in range(3):
+            spec = _payload_spec(i)
+            store.commit_entry(store.write_payload(spec, {}, wall_time=1.0))
+        assert cli_main(["compact", "--store", url, "--grace", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "folded 3 record(s)" in out and "snapshot-" in out
+        assert store.backend.list(COMMIT_LOG_PREFIX) == []
+        assert cli_main(["compact", "--store", url, "--grace", "0"]) == 0
+        assert "nothing to compact (3 record(s))" in capsys.readouterr().out
+        assert cli_main(["compact", "--store", url, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total_records"] == 3 and report["snapshot"] is None
+        # show still answers through the snapshot
+        assert cli_main(["show", "--store", url]) == 0
+        assert "3 entry(ies)" in capsys.readouterr().out
 
 
 # --------------------------------------------------------------------------- #
