@@ -102,6 +102,46 @@ assert all(store.has(s) for s in suite)
 print(f"compaction smoke OK on {store.url}: one snapshot answers index/show/diff")
 EOF
 
+# --- worker-fleet stress: lease-coordinated drain with a SIGKILL --------- #
+# One worker starts draining the 8-scenario fleet suite and is SIGKILLed
+# mid-solve (lease + checkpoint left behind); two late-joining workers
+# must steal the expired lease, resume the dead worker's checkpoint and
+# finish the drain — every scenario completed exactly-once-effective,
+# zero lease objects remaining.
+FLEET_STORE="s3://quick-bench/fleet?endpoint=$SCRATCH/object-store"
+echo "=== worker-fleet stress against $FLEET_STORE ==="
+python -m repro.scenarios work fleet --store "$FLEET_STORE" \
+    --ttl 2 --poll 0.2 --worker-id victim &
+VICTIM=$!
+sleep 1
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+python -m repro.scenarios work fleet --store "$FLEET_STORE" \
+    --ttl 2 --poll 0.2 --worker-id survivor-1 &
+W1=$!
+python -m repro.scenarios work fleet --store "$FLEET_STORE" \
+    --ttl 2 --poll 0.2 --worker-id survivor-2 &
+W2=$!
+wait "$W1"
+wait "$W2"
+python -m repro.scenarios status --store "$FLEET_STORE"
+FLEET_STORE_URL="$FLEET_STORE" python - <<'EOF'
+import os
+from repro.scenarios import ResultsStore, get_preset
+
+store = ResultsStore.open(os.environ["FLEET_STORE_URL"])
+suite = get_preset("fleet")
+index = store.index()
+assert set(index) == set(suite.hashes()), (
+    f"drained {len(index)}/{len(set(suite.hashes()))} scenarios"
+)
+assert all(e["status"] == "completed" for e in index.values()), index
+assert store.leases() == [], f"lease objects left behind: {store.leases()}"
+assert store.parked() == [], f"scenarios parked: {store.parked()}"
+print(f"worker-fleet stress OK on {store.url}: {len(index)} scenario(s) drained "
+      "exactly-once-effective after SIGKILL; zero lease objects remain")
+EOF
+
 # write the quick sweep to a scratch file by default: the full-sweep
 # BENCH_hierarchize.json artifact at the repo root must not be clobbered
 export QUICK_BENCH_OUT="${QUICK_BENCH_OUT:-$SCRATCH/bench_quick.json}"

@@ -13,7 +13,9 @@ the time-iteration solver:
 5. diff two scenarios of the sweep (what `repro-scenarios diff` prints),
 6. re-run the sweep against an S3-style object-store URL (the bundled
    in-process fake server; real-S3 wiring is config only) and diff a
-   local entry against an object-store entry across backends.
+   local entry against an object-store entry across backends,
+7. drain one suite with a fleet of two lease-coordinated workers — the
+   cooperative claim/lease protocol behind `repro-scenarios work`.
 
 Run:  python examples/scenario_sweep.py
 """
@@ -21,6 +23,7 @@ Run:  python examples/scenario_sweep.py
 from __future__ import annotations
 
 import tempfile
+import threading
 
 import numpy as np
 
@@ -35,6 +38,7 @@ from repro.scenarios import (
     diff_entries,
     format_diff,
     run_suite,
+    run_worker,
 )
 
 
@@ -143,6 +147,46 @@ def main() -> None:
             store_b=object_store,
         )
         print(format_diff(cross))
+
+        # -------------------------------------------------------------- #
+        # 7. worker fleet: lease-coordinated suite draining
+        # -------------------------------------------------------------- #
+        # N `repro-scenarios work SUITE --store URL` processes can drain
+        # one suite cooperatively: each worker claims a scenario by
+        # writing a lease object, heartbeats it while solving, and
+        # releases it after committing.  Peers steal leases whose
+        # heartbeat has gone stale (worker died), resuming the dead
+        # worker's checkpoint.  Here two in-process workers share one
+        # object store; each scenario is solved exactly once.
+        print("\n== 7. worker fleet (claim/lease protocol) ==")
+        fleet_store = ResultsStore.open(f"s3://demo-bucket/fleet?endpoint={root}/objstore")
+        reports = {}
+
+        def drain(worker_id: str) -> None:
+            reports[worker_id] = run_worker(
+                suite,
+                fleet_store,
+                worker_id=worker_id,
+                ttl=10.0,
+                poll=0.05,
+                progress=lambda line, w=worker_id: print(f"  [{w}] {line}"),
+            )
+
+        workers = [
+            threading.Thread(target=drain, args=(f"worker-{i}",)) for i in (1, 2)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        for worker_id, rep in sorted(reports.items()):
+            print(f"  {worker_id}: {rep.summary()}")
+        drained = sum(len(r.completed) + len(r.already_done) for r in reports.values())
+        print(
+            f"fleet drained {len(suite)} scenario(s) "
+            f"({drained} worker-observations), "
+            f"leases left behind: {len(fleet_store.leases())}"
+        )
 
 
 if __name__ == "__main__":

@@ -22,7 +22,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SchedulerStats", "WorkStealingScheduler", "StaticScheduler", "simulate_schedule"]
+__all__ = [
+    "SchedulerStats",
+    "WorkStealingScheduler",
+    "StaticScheduler",
+    "simulate_schedule",
+    "longest_first_order",
+]
+
+
+def longest_first_order(costs) -> list:
+    """Task indices ordered by expected cost, longest first (stable).
+
+    The classic LPT (longest-processing-time) list-scheduling order:
+    dispatching — or, for the lease-based worker fleet, *claiming* —
+    expensive tasks first minimises the makespan tail when the task list
+    is wider than the worker pool (see :func:`simulate_schedule`'s greedy
+    model).  Ties keep input order, so schedules are deterministic.  Used
+    by the suite runner's longest-first dispatch and by the claim loop of
+    :func:`repro.scenarios.lease.run_worker`.
+    """
+    costs = [float(c) for c in costs]
+    return sorted(range(len(costs)), key=lambda i: -costs[i])
 
 
 @dataclass

@@ -1,8 +1,16 @@
-"""Execution tracing: spans, timelines and utilization metrics.
+"""Execution tracing: spans, timelines, utilization metrics and events.
 
 Used by the scheduler tests/benchmarks to verify that work stealing keeps
 workers busy, and by the examples to print per-phase timelines of a time
 iteration step.
+
+Besides interval :class:`Span` s, the module records *point-in-time*
+structured :class:`Event` s — the observability primitive the scenario
+worker fleet emits its lease-protocol lifecycle through (``claimed``,
+``stolen``, ``heartbeat-missed``, ``committed``, ...).  An
+:class:`EventRecorder` collects them in order and fans each one out to
+subscribed sinks (a progress printer, a store-backed event log), so any
+observer can follow a long fleet run as it executes.
 """
 
 from __future__ import annotations
@@ -12,7 +20,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Span", "TraceRecorder"]
+__all__ = ["Span", "TraceRecorder", "Event", "EventRecorder", "LEASE_EVENT_KINDS"]
+
+#: the lease-protocol lifecycle vocabulary the scenario worker fleet emits
+LEASE_EVENT_KINDS = (
+    "claimed",        # a fresh lease was acquired
+    "stolen",         # an expired lease was taken over (epoch bump)
+    "released",       # a lease was deleted by its owner
+    "heartbeat",      # a successful background renewal
+    "heartbeat-missed",  # renewal failed; the worker abandons the solve
+    "committed",      # the scenario's entry was committed to the store
+    "retry",          # a transient failure; the scenario re-enters the queue
+    "parked",         # the per-scenario retry budget is exhausted
+    "abandoned",      # the solve stopped because the lease was lost
+    "healed",         # a stale lease on a completed scenario was removed
+)
 
 
 @dataclass(frozen=True)
@@ -94,3 +116,66 @@ class TraceRecorder:
             "end": np.asarray([s.end for s in self.spans], dtype=float),
             "duration": np.asarray([s.duration for s in self.spans], dtype=float),
         }
+
+
+@dataclass
+class Event:
+    """One structured point-in-time event (JSON-able via :meth:`to_dict`)."""
+
+    kind: str
+    worker: str
+    scenario: str = ""  # spec content hash ("" for worker-level events)
+    timestamp: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "scenario": self.scenario,
+            "timestamp": self.timestamp,
+            **self.detail,
+        }
+
+
+@dataclass
+class EventRecorder:
+    """Collects :class:`Event` s in emission order and fans them out.
+
+    Sinks subscribed via :meth:`subscribe` receive every event as it is
+    emitted; a sink that raises is dropped from the fan-out for the rest
+    of the run (observability must never take the worker down with it).
+    """
+
+    events: list = field(default_factory=list)
+    clock: "object" = field(default=time.time, repr=False)
+    _sinks: list = field(default_factory=list, repr=False)
+
+    def subscribe(self, sink) -> None:
+        """Register ``sink(event)`` to receive every subsequent event."""
+        self._sinks.append(sink)
+
+    def emit(self, kind: str, worker: str, scenario: str = "", **detail) -> Event:
+        event = Event(
+            kind=kind,
+            worker=str(worker),
+            scenario=str(scenario),
+            timestamp=float(self.clock()),
+            detail=dict(detail),
+        )
+        self.events.append(event)
+        for sink in list(self._sinks):
+            try:
+                sink(event)
+            except Exception:  # noqa: BLE001 - a broken sink must not stop the worker
+                self._sinks.remove(sink)
+        return event
+
+    def by_kind(self, kind: str) -> list:
+        return [e for e in self.events if e.kind == kind]
+
+    def workers(self) -> list:
+        return sorted({e.worker for e in self.events})
+
+    def to_dicts(self) -> list:
+        return [e.to_dict() for e in self.events]

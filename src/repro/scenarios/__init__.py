@@ -30,7 +30,11 @@ hand-wired single solves into managed scenario runs:
   via config) — ``ResultsStore.open("s3://bucket/prefix?endpoint=...")``;
 * :mod:`repro.scenarios.diff` — compare two store entries (possibly from
   two different stores/backends): calibration and solver deltas with
-  policy-surplus and aggregate differences.
+  policy-surplus and aggregate differences;
+* :mod:`repro.scenarios.lease` — cooperative claim/lease protocol for
+  fault-tolerant multi-worker suite draining: N ``repro-scenarios work``
+  processes share one store, heartbeat their claims, steal expired
+  leases (epoch bump) and resume dead workers' checkpoints.
 
 Usage
 -----
@@ -95,14 +99,26 @@ from repro.scenarios.checkpoint import (
     CheckpointState,
     InterruptingCheckpoint,
     SimulatedKill,
+    SolveAbandoned,
     SolveCheckpoint,
 )
 from repro.scenarios.diff import diff_entries, format_diff
+from repro.scenarios.lease import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_TTL,
+    Lease,
+    LeaseHeartbeat,
+    LeaseLost,
+    LeaseManager,
+    WorkReport,
+    run_worker,
+)
 from repro.scenarios.runner import (
     RunOutcome,
     SuiteReport,
     run_suite,
     schedule_longest_first,
+    solve_and_commit,
 )
 from repro.scenarios.serialize import (
     load_grid,
@@ -145,12 +161,22 @@ __all__ = [
     "SolveCheckpoint",
     "InterruptingCheckpoint",
     "SimulatedKill",
+    "SolveAbandoned",
     "ResultsStore",
     "ScenarioStore",
     "RunOutcome",
     "SuiteReport",
     "run_suite",
+    "solve_and_commit",
     "schedule_longest_first",
+    "DEFAULT_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "Lease",
+    "LeaseManager",
+    "LeaseHeartbeat",
+    "LeaseLost",
+    "WorkReport",
+    "run_worker",
     "diff_entries",
     "format_diff",
 ]

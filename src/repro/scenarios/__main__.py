@@ -15,7 +15,12 @@ Installed as the ``repro-scenarios`` console script and runnable as
 * ``compact`` — fold the store's commit log into one immutable snapshot
   checkpoint object, so ``index()``/``show`` on long-lived object-store
   logs cost one snapshot read plus the un-folded tail (``--grace``
-  controls how long folded log objects linger for in-flight readers).
+  controls how long folded log objects linger for in-flight readers);
+* ``work``   — join a worker fleet draining one suite cooperatively via
+  the claim/lease protocol (any number of these processes against one
+  shared ``--store``; see :mod:`repro.scenarios.lease`);
+* ``status`` — live fleet view of a store: held leases and their ages,
+  parked scenarios and entry status counts.
 
 Every ``--store`` flag accepts either a local directory or a store URL
 (``file:///abs/path``, ``mem://name``, ``s3://bucket/prefix?endpoint=...``
@@ -34,6 +39,7 @@ import time
 from repro.parallel.executor import EXECUTOR_KINDS
 from repro.scenarios.backends import DEFAULT_COMPACT_GRACE, StoreURLError
 from repro.scenarios.diff import diff_entries, format_diff
+from repro.scenarios.lease import DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL, run_worker
 from repro.scenarios.runner import SCHEDULE_KINDS, run_suite
 from repro.scenarios.spec import get_preset, preset_names
 from repro.scenarios.store import ResultsStore
@@ -161,6 +167,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "0 deletes immediately (default: %(default)s)",
     )
     compact.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    work = sub.add_parser(
+        "work",
+        help="join a worker fleet: claim scenarios via leases, solve, commit, "
+        "release — until the suite is drained",
+    )
+    work.add_argument("suite", help=f"preset name (one of: {', '.join(preset_names())})")
+    work.add_argument("--store", default=_default_store(), help=_STORE_HELP)
+    work.add_argument(
+        "--ttl",
+        type=float,
+        default=DEFAULT_TTL,
+        help="lease time-to-live in seconds; heartbeats renew every TTL/3 and "
+        "peers steal leases not renewed for a TTL (default: %(default)s)",
+    )
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: <host>-<pid>-<rand>)",
+    )
+    work.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        help="park a scenario as permanently failing after this many failed "
+        "attempts across the fleet (default: %(default)s)",
+    )
+    work.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="rescan interval while peers hold all remaining scenarios",
+    )
+    work.add_argument(
+        "--checkpoint-every", type=int, default=1, help="checkpoint every N iterations"
+    )
+    work.add_argument(
+        "--point-executor",
+        default="serial",
+        choices=EXECUTOR_KINDS,
+        help="executor for per-grid-point solves inside each scenario",
+    )
+    work.add_argument("--point-workers", type=int, default=1)
+    work.add_argument(
+        "--max-claims",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after claiming N scenarios (default: run until drained)",
+    )
+    work.add_argument(
+        "--retry-parked",
+        action="store_true",
+        help="clear parked/attempt records for this suite before starting",
+    )
+
+    status = sub.add_parser(
+        "status", help="fleet status of a store: held leases, parked scenarios, entries"
+    )
+    status.add_argument("--store", default=_default_store(), help=_STORE_HELP)
+    status.add_argument("--json", action="store_true", help="emit the status as JSON")
     return parser
 
 
@@ -221,6 +289,82 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _cmd_work(args) -> int:
+    try:
+        suite = get_preset(args.suite)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    store = ResultsStore(args.store)
+    report = run_worker(
+        suite,
+        store,
+        worker_id=args.worker_id,
+        ttl=args.ttl,
+        max_attempts=args.max_attempts,
+        poll=args.poll,
+        checkpoint_every=args.checkpoint_every,
+        point_executor=args.point_executor,
+        point_workers=args.point_workers,
+        max_claims=args.max_claims,
+        retry_parked=args.retry_parked,
+        progress=print,
+    )
+    print(report.summary())
+    # parked scenarios mean the suite did not fully drain into results
+    return 1 if report.parked else 0
+
+
+def _cmd_status(args) -> int:
+    store = ResultsStore(args.store)
+    now = time.time()
+    leases = store.leases()
+    parked = store.parked()
+    counts: dict = {}
+    for entry in store.index().values():
+        status = entry.get("status", "unknown")
+        counts[status] = counts.get(status, 0) + 1
+    if args.json:
+        print(
+            json.dumps(
+                {"leases": leases, "parked": parked, "entries": counts},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"store {store.url}")
+    print(
+        "entries: "
+        + (
+            ", ".join(f"{n} {status}" for status, n in sorted(counts.items()))
+            if counts
+            else "none"
+        )
+    )
+    if leases:
+        print(f"{len(leases)} held lease(s):")
+        print(f"  {'scenario':<18} {'worker':<28} {'epoch':>5} {'age [s]':>8} {'ttl [s]':>8}")
+        for lease in leases:
+            age = now - float(lease.get("renewed_at", now))
+            expired = " (expired)" if age > float(lease.get("ttl", 0.0)) else ""
+            print(
+                f"  {lease['scenario']:<18} {lease.get('worker', '?'):<28} "
+                f"{lease.get('epoch', '?')!s:>5} {age:>8.1f} "
+                f"{lease.get('ttl', float('nan')):>8.1f}{expired}"
+            )
+    else:
+        print("no held leases")
+    if parked:
+        print(f"{len(parked)} parked scenario(s):")
+        for record in parked:
+            print(
+                f"  {record['scenario']:<18} after {record.get('attempts', '?')} "
+                f"attempt(s): {record.get('error', '?')}"
+            )
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -251,6 +395,12 @@ def _dispatch(args) -> int:
 
     if args.command == "compact":
         return _cmd_compact(args)
+
+    if args.command == "work":
+        return _cmd_work(args)
+
+    if args.command == "status":
+        return _cmd_status(args)
 
     # run
     try:

@@ -41,12 +41,24 @@ from repro.scenarios.backends.base import (
     MergedCommitLog,
     StorageBackend,
 )
+from repro.scenarios.backends.faults import (
+    FaultInjectingBackend,
+    FaultRule,
+    InjectedCrash,
+)
 from repro.scenarios.backends.localfs import LocalFSBackend
 from repro.scenarios.backends.memory import MemoryBackend
 from repro.scenarios.backends.objectstore import (
     ENDPOINT_ENV,
     FakeObjectServer,
     ObjectStoreBackend,
+)
+from repro.scenarios.backends.retry import (
+    RETRIES_ENV,
+    RETRY_BASE_ENV,
+    TransientStorageError,
+    call_with_retries,
+    is_transient,
 )
 
 __all__ = [
@@ -61,6 +73,14 @@ __all__ = [
     "ObjectStoreBackend",
     "FakeObjectServer",
     "ENDPOINT_ENV",
+    "FaultInjectingBackend",
+    "FaultRule",
+    "InjectedCrash",
+    "TransientStorageError",
+    "call_with_retries",
+    "is_transient",
+    "RETRIES_ENV",
+    "RETRY_BASE_ENV",
     "BACKEND_SCHEMES",
     "StoreURLError",
     "is_store_url",

@@ -38,6 +38,7 @@ from pathlib import Path
 
 from repro.scenarios import serialize
 from repro.scenarios.backends.base import MergedCommitLog, StorageBackend, validate_key
+from repro.scenarios.backends.retry import call_with_retries
 
 __all__ = ["ObjectStoreBackend", "FakeObjectServer", "ENDPOINT_ENV"]
 
@@ -226,17 +227,33 @@ class ObjectStoreBackend(MergedCommitLog, StorageBackend):
         return f"{self.prefix}/{key}" if self.prefix else key
 
     # ------------------------------------------------------------------ #
+    # Every client call is wrapped in bounded retry + backoff/jitter
+    # (transient errors only — see backends.retry), so one object-store
+    # blip degrades to a short stall instead of failing a whole suite.
     def get(self, key: str) -> bytes:
-        return self.client.get_object(self.bucket, self._full_key(key))
+        return call_with_retries(
+            self.client.get_object, self.bucket, self._full_key(key), op=f"get {key}"
+        )
 
     def put(self, key: str, data: bytes) -> None:
-        self.client.put_object(self.bucket, self._full_key(key), bytes(data))
+        call_with_retries(
+            self.client.put_object, self.bucket, self._full_key(key), bytes(data),
+            op=f"put {key}",
+        )
 
     def exists(self, key: str) -> bool:
-        return self.client.head_object(self.bucket, self._full_key(key)) is not None
+        head = call_with_retries(
+            self.client.head_object, self.bucket, self._full_key(key), op=f"head {key}"
+        )
+        return head is not None
 
     def delete(self, key: str, missing_ok: bool = True) -> bool:
-        removed = bool(self.client.delete_object(self.bucket, self._full_key(key)))
+        removed = bool(
+            call_with_retries(
+                self.client.delete_object, self.bucket, self._full_key(key),
+                op=f"delete {key}",
+            )
+        )
         if not removed and not missing_ok:
             raise FileNotFoundError(f"{self.url}/{key}")
         return removed
@@ -244,11 +261,15 @@ class ObjectStoreBackend(MergedCommitLog, StorageBackend):
     def list(self, prefix: str = "") -> list:
         # prefixes are not keys (trailing '/' is fine); compose directly
         base = f"{self.prefix}/" if self.prefix else ""
-        keys = self.client.list_objects(self.bucket, base + prefix)
+        keys = call_with_retries(
+            self.client.list_objects, self.bucket, base + prefix, op=f"list {prefix}"
+        )
         return [key[len(base):] for key in keys]
 
     def mtime(self, key: str) -> float:
-        head = self.client.head_object(self.bucket, self._full_key(key))
+        head = call_with_retries(
+            self.client.head_object, self.bucket, self._full_key(key), op=f"head {key}"
+        )
         if head is None:
             raise FileNotFoundError(f"{self.url}/{key}")
         return float(head["mtime"])

@@ -1,0 +1,151 @@
+"""Bounded retry with exponential backoff + jitter for storage backends.
+
+One S3 blip must not fail a whole suite run: every object operation of
+the :class:`~repro.scenarios.backends.objectstore.ObjectStoreBackend`
+(and the lease protocol's puts/gets on any backend) goes through
+:func:`call_with_retries`, which retries *transient* errors a bounded
+number of times with exponentially growing, jittered sleeps and
+re-raises everything else immediately.
+
+Transient-error classification is deliberately conservative
+(:func:`is_transient`): connection resets, timeouts, the explicit
+:class:`TransientStorageError` marker (what the fault-injection harness
+raises), and botocore-shaped throttling/5xx responses are retried; a
+:class:`FileNotFoundError` is an *answer* (the object is absent), not a
+failure, and anything unrecognised propagates rather than being
+hammered against a broken backend.
+
+Environment knobs:
+
+* ``REPRO_STORE_RETRIES`` — attempts *after* the first try (default 3;
+  ``0`` disables retrying entirely);
+* ``REPRO_STORE_RETRY_BASE`` — base backoff seconds (default 0.05; the
+  n-th retry sleeps ``base * 2**n`` scaled by a random jitter in
+  [0.5, 1.5), so a fleet of workers hitting one hiccup does not retry
+  in lockstep).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RETRIES_ENV",
+    "RETRY_BASE_ENV",
+    "DEFAULT_RETRIES",
+    "DEFAULT_RETRY_BASE",
+    "TransientStorageError",
+    "is_transient",
+    "call_with_retries",
+]
+
+logger = get_logger("scenarios.backends.retry")
+
+#: environment override for the retry budget (attempts after the first)
+RETRIES_ENV = "REPRO_STORE_RETRIES"
+#: environment override for the base backoff delay in seconds
+RETRY_BASE_ENV = "REPRO_STORE_RETRY_BASE"
+
+DEFAULT_RETRIES = 3
+DEFAULT_RETRY_BASE = 0.05
+
+#: botocore-style error codes that denote a retryable service condition
+_TRANSIENT_S3_CODES = frozenset(
+    ("Throttling", "ThrottlingException", "SlowDown", "RequestTimeout",
+     "InternalError", "ServiceUnavailable")
+)
+_TRANSIENT_HTTP_STATUS = frozenset((429, 500, 502, 503, 504))
+
+
+class TransientStorageError(OSError):
+    """A storage error known to be worth retrying.
+
+    Raised by backends/wrappers that can classify their own failures —
+    notably the fault-injection harness, which uses it to model an
+    object-store blip that a healthy retry loop must absorb.
+    """
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        logger.warning("ignoring non-integer %s=%r (using %d)", name, raw, default)
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        logger.warning("ignoring non-number %s=%r (using %g)", name, raw, default)
+        return default
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether an exception denotes a retryable storage hiccup."""
+    if isinstance(exc, FileNotFoundError):
+        return False  # a miss is an answer, not a failure
+    if isinstance(
+        exc,
+        (ConnectionError, TimeoutError, BlockingIOError, InterruptedError,
+         TransientStorageError),
+    ):
+        return True
+    # botocore.ClientError duck-typing: the library never imports boto3,
+    # but a real-S3 backend surfaces throttles/5xx as exceptions carrying
+    # a ``response`` dict of this exact shape
+    response = getattr(exc, "response", None)
+    if isinstance(response, dict):
+        status = response.get("ResponseMetadata", {}).get("HTTPStatusCode")
+        code = response.get("Error", {}).get("Code", "")
+        return status in _TRANSIENT_HTTP_STATUS or code in _TRANSIENT_S3_CODES
+    return False
+
+
+def call_with_retries(
+    fn,
+    *args,
+    op: str = "",
+    retries: int | None = None,
+    base_delay: float | None = None,
+    classify=is_transient,
+    sleep=time.sleep,
+    rng=random.random,
+    **kwargs,
+):
+    """Call ``fn(*args, **kwargs)``, retrying transient failures.
+
+    ``retries``/``base_delay`` default to the environment knobs above.
+    Non-transient exceptions (per ``classify``) and the final transient
+    failure propagate unchanged, so callers see the original error.
+    """
+    if retries is None:
+        retries = _env_int(RETRIES_ENV, DEFAULT_RETRIES)
+    if base_delay is None:
+        base_delay = _env_float(RETRY_BASE_ENV, DEFAULT_RETRY_BASE)
+    attempt = 0
+    while True:
+        try:
+            return fn(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - classified and re-raised below
+            if attempt >= retries or not classify(exc):
+                raise
+            delay = base_delay * (2.0**attempt) * (0.5 + rng())
+            logger.warning(
+                "transient storage error on %s (attempt %d/%d, retrying in %.3fs): %s",
+                op or getattr(fn, "__name__", "?"), attempt + 1, retries, delay, exc,
+            )
+            if delay > 0:
+                sleep(delay)
+            attempt += 1

@@ -29,9 +29,27 @@ from repro.core.time_iteration import TimeIterationConfig, TimeIterationResult
 from repro.scenarios import serialize
 from repro.utils.logging import get_logger
 
-__all__ = ["CheckpointState", "SolveCheckpoint", "InterruptingCheckpoint", "SimulatedKill"]
+__all__ = [
+    "CheckpointState",
+    "SolveCheckpoint",
+    "InterruptingCheckpoint",
+    "SimulatedKill",
+    "SolveAbandoned",
+]
 
 logger = get_logger("scenarios.checkpoint")
+
+
+class SolveAbandoned(RuntimeError):
+    """A solve stopped because its claim on the scenario ended.
+
+    Raised from a checkpoint's ``abort`` hook (e.g. when a lease-holding
+    worker loses its lease to a peer): the solve must stop *without*
+    committing anything — the scenario now belongs to whoever stole the
+    claim, and they resume from the last checkpoint this worker wrote.
+    The runner's shared solve-and-commit path propagates it instead of
+    recording a failure entry.
+    """
 
 
 @dataclass
@@ -70,6 +88,14 @@ class SolveCheckpoint:
         *written* with the solving driver's actual configuration (the
         solver passes it to the hooks), so provenance stays correct even
         for hooks constructed without a config.
+    abort
+        Optional zero-argument callable polled at every iteration
+        boundary *before* anything is written; a truthy return raises
+        :class:`SolveAbandoned`.  This is how a lease-holding worker
+        stops solving the moment its lease is lost (stolen, or
+        unrenewable past its TTL deadline): the abandoning worker writes
+        nothing further — the thief owns the checkpoint now and resumes
+        from the last state this worker persisted (steal-then-resume).
     """
 
     def __init__(
@@ -77,12 +103,14 @@ class SolveCheckpoint:
         path,
         every: int = 1,
         config: TimeIterationConfig | None = None,
+        abort=None,
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
         self.path = path if serialize.is_blob_target(path) else Path(path)
         self.every = every
         self.config = config
+        self.abort = abort
         self._last_write: tuple | None = None
 
     # ------------------------------------------------------------------ #
@@ -117,6 +145,14 @@ class SolveCheckpoint:
     def on_iteration(
         self, policy: PolicySet, records: list, converged: bool, config: TimeIterationConfig
     ) -> None:
+        # poll the abort hook BEFORE any write: once the lease is gone the
+        # checkpoint belongs to the thief, and overwriting it could roll
+        # the thief's resume state backwards
+        if self.abort is not None and self.abort():
+            raise SolveAbandoned(
+                f"solve abandoned at iteration {len(records)} (claim on the "
+                "scenario was lost)"
+            )
         if converged or len(records) % self.every == 0:
             self._write(policy, records, converged, config)
 

@@ -1,0 +1,672 @@
+"""Cooperative claim/lease protocol for fault-tolerant suite draining.
+
+Any number of ``repro-scenarios work --store URL`` processes — on one host
+or many — drain one scenario suite against one shared store, coordinating
+*only* through the :class:`~repro.scenarios.backends.StorageBackend`
+object API they already use for results.  No lock server, no queue
+broker: the protocol needs exactly the contract's whole-object atomic
+``put``/``get``/``delete``.
+
+Protocol
+--------
+A worker claims scenario ``<hash16>`` by putting
+``leases/<hash16>/lease.json`` — worker id, epoch counter, acquired and
+renewed timestamps, TTL — and *reading it back*: on a plain object store
+two racing claimants can both put, but last-writer-wins means at most one
+read-back shows the reader's own (worker, epoch) pair, which demotes the
+race to the rare window between a loser's put and the winner's.  Even a
+genuine double-claim (both read back before the other's put lands) is
+**safe, not just unlikely**: results are content-addressed and committed
+through the store's idempotent, no-downgrade ``commit_entry``, so two
+workers solving the same scenario commit the same bytes — the protocol
+only wastes the duplicated compute, and the loser's next heartbeat sees
+the foreign (worker, epoch) and abandons via :class:`LeaseLost`.
+
+While solving, a background :class:`LeaseHeartbeat` thread renews the
+lease every TTL/3.  Peers treat a lease whose ``renewed_at`` is older
+than its TTL (by the *peer's* clock) as expired and steal it with an
+epoch bump; the thief then resumes from whatever checkpoint the dead
+worker last wrote (steal-then-resume, bit-exact by the checkpoint
+contract).  Expiry compares a peer timestamp against an owner timestamp,
+so clock skew shifts *when* a dead worker's lease becomes stealable
+(skew + TTL) but can never make a *healthy* lease stealable by a
+slow-clocked peer — its ``now - renewed_at`` only shrinks.
+
+Failure handling:
+
+* **Crash-safe release ordering** — a finishing worker commits the entry
+  *first* and deletes its lease *second*.  Crashing between the two
+  leaves a lease on a completed scenario; any peer's pending scan heals
+  that (checks the entry is complete, waits out the TTL, deletes the
+  lease) so a drained suite ends with zero lease objects.
+* **Graceful degradation** — every lease get/put/delete runs under the
+  bounded retry + backoff/jitter of :mod:`repro.scenarios.backends.retry`.
+  A worker whose renewals keep failing past its own TTL deadline *stops
+  solving and abandons* rather than split-brain: by then peers may
+  legitimately consider the lease expired.
+* **Retry budget + parking** — failed scenarios are retried with
+  exponential backoff; after ``max_attempts`` recorded failures (shared
+  via ``leases/<hash16>/attempts.json``, last-writer-wins — an undercount
+  merely buys an extra attempt) the scenario is *parked*
+  (``leases/<hash16>/parked.json``) so a permanently broken spec cannot
+  spin the fleet forever.
+
+Every protocol step emits a structured
+:class:`~repro.parallel.tracing.Event` (``claimed``/``stolen``/
+``heartbeat-missed``/``committed``/...), mirrored to
+``events/<worker_id>.jsonl`` in the store for ``repro-scenarios status``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+
+from repro.parallel.tracing import EventRecorder
+from repro.scenarios.backends.retry import call_with_retries
+from repro.scenarios.checkpoint import SolveAbandoned
+from repro.scenarios.runner import schedule_longest_first, solve_and_commit
+from repro.scenarios.store import ResultsStore
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "DEFAULT_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "Lease",
+    "LeaseLost",
+    "LeaseManager",
+    "LeaseHeartbeat",
+    "WorkReport",
+    "run_worker",
+    "default_worker_id",
+    "store_event_sink",
+]
+
+logger = get_logger("scenarios.lease")
+
+#: default lease time-to-live in seconds.  Renewals run every TTL/3, so a
+#: lease survives two missed heartbeats; a dead worker's scenario is
+#: stealable ~TTL after its last renewal.
+DEFAULT_TTL = 30.0
+
+#: recorded failures before a scenario is parked as permanently failing
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class LeaseLost(SolveAbandoned):
+    """This worker's lease was stolen, superseded or could not be renewed.
+
+    Subclasses :class:`SolveAbandoned`, so a heartbeat-driven abort
+    surfaces through the solver's checkpoint hook with the same
+    propagate-uncommitted semantics the runner already honours.
+    """
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>-<rand>`` — unique per process, readable in listings."""
+    host = platform.node().split(".")[0].replace("/", "-") or "worker"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claim on one scenario, as stored in ``leases/<hash16>/lease.json``."""
+
+    scenario: str  # the hash16 scenario key
+    worker: str
+    epoch: int  # bumped on every steal; (worker, epoch) identifies one holder
+    acquired_at: float
+    renewed_at: float
+    ttl: float
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "worker": self.worker,
+            "epoch": int(self.epoch),
+            "acquired_at": float(self.acquired_at),
+            "renewed_at": float(self.renewed_at),
+            "ttl": float(self.ttl),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        return cls(
+            scenario=str(data["scenario"]),
+            worker=str(data["worker"]),
+            epoch=int(data["epoch"]),
+            acquired_at=float(data["acquired_at"]),
+            renewed_at=float(data["renewed_at"]),
+            ttl=float(data["ttl"]),
+        )
+
+    def same_holder(self, other: "Lease | None") -> bool:
+        return (
+            other is not None
+            and other.worker == self.worker
+            and other.epoch == self.epoch
+        )
+
+    def age(self, now: float) -> float:
+        return now - self.renewed_at
+
+    def expired(self, now: float) -> bool:
+        """Whether a peer reading this lease at ``now`` may steal it."""
+        return self.age(now) > self.ttl
+
+
+class LeaseManager:
+    """Claim/renew/release/steal operations of one worker against one store.
+
+    All timestamps compare the *caller's* ``clock`` against timestamps
+    written by other workers' clocks — see the module docstring for why
+    that is skew-tolerant.  ``clock`` and the retry knobs are injectable
+    so the fault-injection tests drive the protocol deterministically.
+    """
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        worker_id: str,
+        ttl: float = DEFAULT_TTL,
+        clock=time.time,
+        events: EventRecorder | None = None,
+        retries: int | None = None,
+        retry_base: float | None = None,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be > 0")
+        self.store = store
+        self.worker_id = str(worker_id)
+        self.ttl = float(ttl)
+        self.clock = clock
+        self.events = events
+        self.retries = retries
+        self.retry_base = retry_base
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, kind: str, scenario: str = "", **detail) -> None:
+        if self.events is not None:
+            self.events.emit(kind, self.worker_id, scenario, **detail)
+
+    def _call(self, fn, *args, op: str):
+        # bounded retry + backoff/jitter around every lease op, so one
+        # store blip degrades to a stall instead of a spurious abandon
+        return call_with_retries(
+            fn, *args, op=op, retries=self.retries, base_delay=self.retry_base
+        )
+
+    def read(self, spec_or_hash) -> Lease | None:
+        """The current lease on a scenario, or ``None`` (absent/torn)."""
+        key = self.store.lease_key(spec_or_hash)
+        try:
+            raw = self._call(self.store.backend.get, key, op=f"get {key}")
+        except FileNotFoundError:
+            return None
+        try:
+            return Lease.from_dict(json.loads(raw))
+        except (ValueError, KeyError, TypeError):
+            # a torn/garbled lease protects nobody; claimable immediately
+            return None
+
+    def _put(self, lease: Lease) -> None:
+        key = self.store.lease_key(lease.scenario)
+        data = (json.dumps(lease.to_dict(), sort_keys=True) + "\n").encode("utf-8")
+        self._call(self.store.backend.put, key, data, op=f"put {key}")
+
+    # ------------------------------------------------------------------ #
+    # the protocol
+    # ------------------------------------------------------------------ #
+    def try_claim(self, spec_or_hash) -> Lease | None:
+        """Claim a scenario; returns the held lease, or ``None``.
+
+        ``None`` means either the scenario is validly held by a live peer
+        or this worker lost the last-writer-wins race on the put (the
+        read-back showed a foreign (worker, epoch)).  A steal of an
+        expired lease bumps the epoch, which is what invalidates the
+        previous holder's renewals.
+        """
+        scenario = self.store.scenario_key(spec_or_hash)
+        current = self.read(scenario)
+        now = self.clock()
+        if current is not None and not current.expired(now):
+            return None
+        epoch = 1 if current is None else current.epoch + 1
+        lease = Lease(
+            scenario=scenario,
+            worker=self.worker_id,
+            epoch=epoch,
+            acquired_at=now,
+            renewed_at=now,
+            ttl=self.ttl,
+        )
+        self._put(lease)
+        if not lease.same_holder(self.read(scenario)):
+            return None  # a racing claimant overwrote us; they own it
+        if current is None:
+            self._emit("claimed", scenario, epoch=epoch)
+        else:
+            self._emit(
+                "stolen",
+                scenario,
+                epoch=epoch,
+                previous_worker=current.worker,
+                stale_for=now - current.renewed_at,
+            )
+        return lease
+
+    def renew(self, lease: Lease) -> Lease:
+        """Refresh ``renewed_at``; raises :class:`LeaseLost` when superseded."""
+        current = self.read(lease.scenario)
+        if not lease.same_holder(current):
+            raise LeaseLost(
+                f"lease on {lease.scenario} now held by "
+                f"{current.worker!r} epoch {current.epoch}"
+                if current is not None
+                else f"lease on {lease.scenario} vanished"
+            )
+        renewed = replace(lease, renewed_at=self.clock())
+        self._put(renewed)
+        if not renewed.same_holder(self.read(lease.scenario)):
+            raise LeaseLost(f"lease on {lease.scenario} overwritten during renewal")
+        self._emit("heartbeat", lease.scenario, epoch=lease.epoch)
+        return renewed
+
+    def release(self, lease: Lease) -> bool:
+        """Delete the lease if this worker still holds it (read-verify first).
+
+        Callers must have committed the scenario's entry *before* calling
+        this — commit-then-release is what makes a crash in between
+        recoverable (the expiry path heals the leftover lease).
+        """
+        if not lease.same_holder(self.read(lease.scenario)):
+            return False  # stolen meanwhile; the lease is not ours to delete
+        key = self.store.lease_key(lease.scenario)
+        self._call(self.store.backend.delete, key, op=f"delete {key}")
+        self._emit("released", lease.scenario, epoch=lease.epoch)
+        return True
+
+    def heal_completed(self, spec_or_hash) -> bool:
+        """Remove a leftover lease from a *completed* scenario.
+
+        Heals the crash window between commit and release: once the
+        leftover lease has expired (or is this worker's own), any peer
+        scanning for pending work deletes it, so a fully drained suite
+        converges to zero lease objects.  The caller checks completion;
+        this only enforces the expiry/ownership rule.
+        """
+        scenario = self.store.scenario_key(spec_or_hash)
+        current = self.read(scenario)
+        if current is None:
+            return False
+        if current.worker != self.worker_id and not current.expired(self.clock()):
+            return False  # possibly a live duplicate-solver; let it finish
+        key = self.store.lease_key(scenario)
+        self._call(self.store.backend.delete, key, op=f"delete {key}")
+        self._emit("healed", scenario, previous_worker=current.worker)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # retry budget and parking
+    # ------------------------------------------------------------------ #
+    def attempts(self, spec_or_hash) -> int:
+        key = self.store.attempts_key(spec_or_hash)
+        try:
+            raw = self._call(self.store.backend.get, key, op=f"get {key}")
+            return int(json.loads(raw).get("count", 0))
+        except (FileNotFoundError, ValueError, TypeError):
+            return 0
+
+    def record_failure(self, spec_or_hash, error: str) -> int:
+        """Bump the shared failure count; returns the new count.
+
+        Read-modify-write without CAS: two workers recording one failure
+        each may write the same count (an undercount), which merely buys
+        the scenario one extra attempt — the budget stays bounded.
+        """
+        scenario = self.store.scenario_key(spec_or_hash)
+        count = self.attempts(scenario) + 1
+        key = self.store.attempts_key(scenario)
+        record = {
+            "count": count,
+            "last_error": str(error),
+            "last_worker": self.worker_id,
+            "updated_at": float(self.clock()),
+        }
+        self._call(
+            self.store.backend.put,
+            key,
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8"),
+            op=f"put {key}",
+        )
+        return count
+
+    def is_parked(self, spec_or_hash) -> bool:
+        key = self.store.parked_key(spec_or_hash)
+        return bool(self._call(self.store.backend.exists, key, op=f"head {key}"))
+
+    def park(self, spec_or_hash, attempts: int, error: str) -> None:
+        """Mark a scenario permanently failing; workers stop claiming it."""
+        scenario = self.store.scenario_key(spec_or_hash)
+        key = self.store.parked_key(scenario)
+        record = {
+            "worker": self.worker_id,
+            "attempts": int(attempts),
+            "error": str(error),
+            "parked_at": float(self.clock()),
+        }
+        self._call(
+            self.store.backend.put,
+            key,
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8"),
+            op=f"put {key}",
+        )
+        self._emit("parked", scenario, attempts=attempts, error=str(error))
+
+    def clear_attempts(self, spec_or_hash) -> None:
+        """Drop the failure count and any parking (success, or --retry-parked)."""
+        for key in (
+            self.store.attempts_key(spec_or_hash),
+            self.store.parked_key(spec_or_hash),
+        ):
+            self._call(self.store.backend.delete, key, op=f"delete {key}")
+
+
+class LeaseHeartbeat:
+    """Background renewal thread for one held lease.
+
+    Renews every ``interval`` (default TTL/3).  Two ways to lose the
+    lease:
+
+    * a renewal reads back a foreign (worker, epoch) — stolen or
+      superseded — raising :class:`LeaseLost` immediately;
+    * renewals keep *erroring* (store unreachable) past the lease's own
+      TTL since the last success — by then peers may consider the lease
+      expired, so continuing to solve would split-brain.
+
+    Either way :meth:`abort_requested` flips to ``True``; the solve's
+    checkpoint hook polls it each iteration and abandons uncommitted.
+    The thread is a daemon and :meth:`stop` never releases the lease —
+    releasing is the owner's explicit, post-commit decision.
+    """
+
+    def __init__(self, manager: LeaseManager, lease: Lease, interval: float | None = None) -> None:
+        self.manager = manager
+        self.lease = lease
+        self.interval = float(interval) if interval is not None else lease.ttl / 3.0
+        if self.interval <= 0:
+            raise ValueError("heartbeat interval must be > 0")
+        self._stop = threading.Event()
+        self._lost = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{lease.scenario}", daemon=True
+        )
+
+    def start(self) -> "LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def abort_requested(self) -> bool:
+        return self._lost.is_set()
+
+    def stop(self) -> None:
+        """Stop renewing and join; the lease object stays in the store."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=10.0)
+
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        last_ok = self.manager.clock()
+        while not self._stop.wait(self.interval):
+            try:
+                self.lease = self.manager.renew(self.lease)
+                last_ok = self.manager.clock()
+            except LeaseLost as exc:
+                self.manager._emit(
+                    "heartbeat-missed",
+                    self.lease.scenario,
+                    reason="lease-lost",
+                    detail_msg=str(exc),
+                )
+                self._lost.set()
+                return
+            except Exception as exc:  # noqa: BLE001 - store outage path
+                stale = self.manager.clock() - last_ok
+                logger.warning(
+                    "renewal of %s failed (%.1fs since last success): %s",
+                    self.lease.scenario, stale, exc,
+                )
+                if stale > self.lease.ttl:
+                    # peers may already consider us dead; abandon, never
+                    # split-brain against a legitimate thief
+                    self.manager._emit(
+                        "heartbeat-missed",
+                        self.lease.scenario,
+                        reason="renew-deadline-exceeded",
+                        stale_for=stale,
+                    )
+                    self._lost.set()
+                    return
+
+
+def store_event_sink(store: ResultsStore, worker_id: str):
+    """Sink persisting a worker's events as ``events/<worker_id>.jsonl``.
+
+    Object stores have no append, so the sink re-puts the whole (small)
+    event log on each event — the last put always leaves a complete,
+    readable JSONL object.
+    """
+    key = f"{store.EVENTS_PREFIX}/{str(worker_id).replace('/', '-')}.jsonl"
+    lines: list = []
+
+    def sink(event) -> None:
+        lines.append(json.dumps(event.to_dict(), sort_keys=True))
+        store.backend.put(key, ("\n".join(lines) + "\n").encode("utf-8"))
+
+    return sink
+
+
+@dataclass
+class WorkReport:
+    """What one :func:`run_worker` drain accomplished."""
+
+    worker_id: str
+    completed: list = field(default_factory=list)  # hash16s this worker committed
+    already_done: list = field(default_factory=list)  # complete before we got there
+    parked: list = field(default_factory=list)
+    claims: int = 0
+    steals: int = 0
+    abandoned: int = 0
+    healed: int = 0
+    events: EventRecorder | None = None
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.completed)} completed",
+            f"{self.claims} claim(s)",
+        ]
+        if self.steals:
+            parts.append(f"{self.steals} stolen")
+        if self.abandoned:
+            parts.append(f"{self.abandoned} abandoned")
+        if self.parked:
+            parts.append(f"{len(self.parked)} parked")
+        if self.healed:
+            parts.append(f"{self.healed} lease(s) healed")
+        return f"worker {self.worker_id}: " + ", ".join(parts)
+
+
+def run_worker(
+    suite,
+    store,
+    *,
+    worker_id: str | None = None,
+    ttl: float = DEFAULT_TTL,
+    heartbeat_interval: float | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    poll: float = 0.5,
+    checkpoint_every: int = 1,
+    point_executor: str = "serial",
+    point_workers: int = 1,
+    max_claims: int | None = None,
+    retry_parked: bool = False,
+    backoff_base: float = 0.5,
+    events: EventRecorder | None = None,
+    clock=time.time,
+    sleep=time.sleep,
+    rng=random.random,
+    progress=None,
+) -> WorkReport:
+    """Drain one suite cooperatively: claim -> solve -> commit -> release.
+
+    The worker loops over the suite's unfinished scenarios longest-first
+    (:func:`~repro.scenarios.runner.schedule_longest_first`, so expensive
+    solves spread across the fleet early), claiming each through
+    :class:`LeaseManager`.  A claimed scenario runs through the runner's
+    shared :func:`~repro.scenarios.runner.solve_and_commit` path — which
+    resumes from any checkpoint already in the store, including one left
+    by a dead worker whose lease this one stole — under a
+    :class:`LeaseHeartbeat` whose ``abort_requested`` is wired into the
+    solve's checkpoint hook.  Scenarios held by live peers are revisited
+    every ``poll`` seconds until the suite is fully drained (every
+    scenario completed or parked), then the worker exits.
+
+    ``clock``/``sleep``/``rng`` are injectable for the deterministic
+    fault-injection tests; real fleets keep the defaults.
+    """
+    if not isinstance(store, ResultsStore):
+        store = ResultsStore.open(store)
+    worker_id = worker_id or default_worker_id()
+    if events is None:
+        events = EventRecorder(clock=clock)
+    events.subscribe(store_event_sink(store, worker_id))
+    say = progress if progress is not None else (lambda line: None)
+    manager = LeaseManager(store, worker_id, ttl=ttl, clock=clock, events=events)
+    report = WorkReport(worker_id=worker_id, events=events)
+
+    # dedupe by scenario key: identical content is one unit of work
+    specs: dict = {}
+    for spec in suite:
+        specs.setdefault(store.scenario_key(spec), spec)
+    if retry_parked:
+        for scenario in specs:
+            manager.clear_attempts(scenario)
+    done: set = set()
+
+    while True:
+        pending = []
+        for scenario, spec in specs.items():
+            if scenario in done:
+                continue
+            if store.entry_is_complete(store.entry(scenario)):
+                # heal the commit-then-crash window: an expired lease
+                # left on a completed scenario is deleted by whoever
+                # notices (see LeaseManager.heal_completed)
+                if manager.heal_completed(scenario):
+                    report.healed += 1
+                if scenario not in report.completed:
+                    report.already_done.append(scenario)
+                done.add(scenario)
+                continue
+            if manager.is_parked(scenario):
+                if scenario not in report.parked:
+                    report.parked.append(scenario)
+                done.add(scenario)
+                continue
+            pending.append(spec)
+        if not pending:
+            break
+
+        pending = schedule_longest_first(pending, store.wall_times())
+        claimed_any = False
+        for spec in pending:
+            if max_claims is not None and report.claims >= max_claims:
+                say(f"worker {worker_id}: claim budget ({max_claims}) spent")
+                return report
+            scenario = store.scenario_key(spec)
+            if store.entry_is_complete(store.entry(scenario)):
+                # a peer committed it since this pass's scan: don't waste
+                # a claim (and a re-solve) on a finished scenario
+                if manager.heal_completed(scenario):
+                    report.healed += 1
+                report.already_done.append(scenario)
+                done.add(scenario)
+                claimed_any = True  # progress was made; rescan immediately
+                continue
+            lease = manager.try_claim(spec)
+            if lease is None:
+                continue  # validly held by a peer, or we lost the put race
+            report.claims += 1
+            claimed_any = True
+            stolen = lease.epoch > 1
+            if stolen:
+                report.steals += 1
+            say(
+                f"{'steal' if stolen else 'claim'} {spec.name} "
+                f"[{scenario}] epoch={lease.epoch}"
+            )
+            heartbeat = LeaseHeartbeat(manager, lease, interval=heartbeat_interval).start()
+            try:
+                entry = solve_and_commit(
+                    spec,
+                    store,
+                    checkpoint_every=checkpoint_every,
+                    point_executor=point_executor,
+                    point_workers=point_workers,
+                    abort=heartbeat.abort_requested,
+                )
+            except SolveAbandoned as exc:
+                heartbeat.stop()
+                report.abandoned += 1
+                events.emit("abandoned", worker_id, scenario, reason=str(exc))
+                say(f"abandon {spec.name} [{scenario}]: {exc}")
+                continue  # nothing committed; the new holder owns the scenario
+            except BaseException:
+                # InjectedCrash / KeyboardInterrupt: die like kill -9 would —
+                # stop renewing (a dead process renews nothing) but leave the
+                # lease and checkpoint in place for a peer to steal and resume
+                heartbeat.stop()
+                raise
+            heartbeat.stop()
+            if entry["status"] == "completed":
+                events.emit(
+                    "committed",
+                    worker_id,
+                    scenario,
+                    wall_time=entry.get("wall_time", 0.0),
+                    resumed=bool(entry.get("resumed", False)),
+                )
+                manager.clear_attempts(scenario)
+                manager.release(heartbeat.lease)
+                report.completed.append(scenario)
+                done.add(scenario)
+                say(f"done  {spec.name} [{scenario}] ({entry.get('wall_time', 0.0):.2f}s)")
+            else:
+                count = manager.record_failure(scenario, entry.get("error", entry["status"]))
+                if count >= max_attempts:
+                    manager.park(scenario, attempts=count, error=entry.get("error", ""))
+                    report.parked.append(scenario)
+                    done.add(scenario)
+                    say(f"park  {spec.name} [{scenario}] after {count} attempt(s)")
+                else:
+                    events.emit("retry", worker_id, scenario, attempt=count)
+                    say(f"retry {spec.name} [{scenario}] (attempt {count}/{max_attempts})")
+                # release either way: commit-entry-then-release ordering
+                # holds (the failed entry is committed), and holding the
+                # lease through the backoff would only serialize the fleet
+                manager.release(heartbeat.lease)
+                if count < max_attempts and backoff_base > 0:
+                    delay = backoff_base * (2 ** (count - 1)) * (0.5 + rng())
+                    sleep(delay)
+        if not claimed_any:
+            # everything unfinished is held by live peers (or their leases
+            # have not expired yet); wait out a poll interval and rescan
+            sleep(max(poll, 0.01))
+    return report

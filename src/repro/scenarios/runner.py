@@ -41,7 +41,13 @@ import traceback
 from dataclasses import dataclass, field
 
 from repro.parallel.executor import EXECUTOR_KINDS, make_executor
-from repro.scenarios.checkpoint import InterruptingCheckpoint, SimulatedKill, SolveCheckpoint
+from repro.parallel.scheduler import longest_first_order
+from repro.scenarios.checkpoint import (
+    InterruptingCheckpoint,
+    SimulatedKill,
+    SolveAbandoned,
+    SolveCheckpoint,
+)
 from repro.scenarios.spec import ScenarioSpec, ScenarioSuite
 from repro.scenarios.store import ResultsStore
 from repro.utils.logging import get_logger
@@ -50,6 +56,7 @@ __all__ = [
     "RunOutcome",
     "SuiteReport",
     "run_suite",
+    "solve_and_commit",
     "schedule_longest_first",
     "EXPERIMENT_ADAPTERS",
     "SCHEDULE_KINDS",
@@ -146,37 +153,60 @@ def schedule_longest_first(specs, wall_times: dict) -> list:
             return float(wall)
         return float(cost * scale) if scale is not None else float(cost)
 
-    order = sorted(
-        range(len(specs)),
-        key=lambda i: expected_seconds(specs[i], costs[i]),
-        reverse=True,
+    order = longest_first_order(
+        expected_seconds(spec, cost) for spec, cost in zip(specs, costs)
     )
     return [specs[i] for i in order]
 
 
-def _execute_task(task: dict) -> dict:
-    """Run one scenario; top-level so the process executor can pickle it.
+def solve_and_commit(
+    spec: ScenarioSpec,
+    store: ResultsStore,
+    *,
+    checkpoint_every: int = 1,
+    point_executor: str = "serial",
+    point_workers: int = 1,
+    interrupt_after: int | None = None,
+    abort=None,
+) -> dict:
+    """Run one scenario against ``store`` and commit its manifest entry.
 
-    Writes the scenario's files, *commits its manifest entry* (status
-    ``completed``/``interrupted``/``failed``) into the sharded store and
-    returns the entry for the parent's report.  Committing in the worker
-    is safe — entry files are per-hash and the log append is atomic — and
-    makes finished work durable even if the parent dies before the batch
-    barrier.
+    The single solve-and-commit path shared by the batch runner's worker
+    function (:func:`run_suite` via ``_execute_task``) and the lease-based
+    fleet worker (:func:`repro.scenarios.lease.run_worker`): persists the
+    spec, runs the solve (resuming from an existing checkpoint — including
+    one left behind by a dead worker whose lease was stolen) or the
+    experiment adapter, commits the entry (``completed``/``interrupted``/
+    ``failed``) and returns it.  Failed entries carry the full formatted
+    traceback under ``entry["traceback"]``.
+
+    ``abort`` is forwarded to :class:`SolveCheckpoint`; when it fires,
+    :class:`SolveAbandoned` *propagates uncommitted* — an abandoning
+    worker no longer owns the scenario and must not write an entry the
+    rightful owner's result would have to out-rank.
     """
-    spec = ScenarioSpec.from_dict(task["spec"])
-    store = ResultsStore.open(task["store_url"])
     # persist the spec up front so even interrupted/failed entries can be
     # inspected and diffed (spec deltas explain *why* a variant failed)
     store.save_spec(spec)
     t0 = time.perf_counter()
     try:
         if spec.kind == "solve":
-            entry = _execute_solve(spec, store, task, t0)
+            entry = _execute_solve(
+                spec,
+                store,
+                t0,
+                checkpoint_every=checkpoint_every,
+                point_executor=point_executor,
+                point_workers=point_workers,
+                interrupt_after=interrupt_after,
+                abort=abort,
+            )
         else:
             adapter = _resolve_adapter(spec.kind)
             payload = {"params": dict(spec.params), "result": adapter(dict(spec.params))}
             entry = store.write_payload(spec, payload, time.perf_counter() - t0)
+    except SolveAbandoned:
+        raise
     except SimulatedKill as exc:
         # the --interrupt-after testing hook only; a genuine KeyboardInterrupt
         # (user Ctrl-C) propagates and stops the whole batch — the on-disk
@@ -189,6 +219,7 @@ def _execute_task(task: dict) -> dict:
             "failed",
             time.perf_counter() - t0,
             "".join(traceback.format_exception_only(type(exc), exc)).strip(),
+            tb=traceback.format_exc(),
         )
     store.commit_entry(entry)
     if entry["status"] == "completed" and spec.kind == "solve":
@@ -199,31 +230,58 @@ def _execute_task(task: dict) -> dict:
     return entry
 
 
-def _execute_solve(spec: ScenarioSpec, store: ResultsStore, task: dict, t0: float) -> dict:
+def _execute_task(task: dict) -> dict:
+    """Run one scenario; top-level so the process executor can pickle it.
+
+    Thin task-dict adapter over :func:`solve_and_commit`.  Committing in
+    the worker is safe — entry files are per-hash and the log append is
+    atomic — and makes finished work durable even if the parent dies
+    before the batch barrier.
+    """
+    spec = ScenarioSpec.from_dict(task["spec"])
+    store = ResultsStore.open(task["store_url"])
+    return solve_and_commit(
+        spec,
+        store,
+        checkpoint_every=int(task.get("checkpoint_every", 1)),
+        point_executor=task.get("point_executor", "serial"),
+        point_workers=int(task.get("point_workers", 1)),
+        interrupt_after=task.get("interrupt_after"),
+    )
+
+
+def _execute_solve(
+    spec: ScenarioSpec,
+    store: ResultsStore,
+    t0: float,
+    *,
+    checkpoint_every: int = 1,
+    point_executor: str = "serial",
+    point_workers: int = 1,
+    interrupt_after: int | None = None,
+    abort=None,
+) -> dict:
     config = spec.build_config()
     model = spec.build_model()
-    point_executor = None
-    if task.get("point_executor", "serial") != "serial":
-        point_executor = make_executor(
-            task["point_executor"], task.get("point_workers", 1)
-        )
+    executor = None
+    if point_executor != "serial":
+        executor = make_executor(point_executor, point_workers)
     from repro.core.time_iteration import TimeIterationSolver
 
-    solver = TimeIterationSolver(model, config, executor=point_executor)
+    solver = TimeIterationSolver(model, config, executor=executor)
     # a BlobRef: checkpoints flow through the store's backend, so kill/
     # resume works identically for file://, mem:// and s3:// stores
     ckpt_path = store.checkpoint_ref(spec)
-    interrupt_after = task.get("interrupt_after")
     if interrupt_after:
         checkpoint = InterruptingCheckpoint(
             ckpt_path,
-            every=task.get("checkpoint_every", 1),
+            every=checkpoint_every,
             config=config,
             interrupt_after=int(interrupt_after),
         )
     else:
         checkpoint = SolveCheckpoint(
-            ckpt_path, every=task.get("checkpoint_every", 1), config=config
+            ckpt_path, every=checkpoint_every, config=config, abort=abort
         )
     resumed = checkpoint.exists()
     result = solver.solve(checkpoint=checkpoint)

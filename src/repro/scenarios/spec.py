@@ -44,6 +44,7 @@ __all__ = [
     "preset_names",
     "get_preset",
     "smoke_suite",
+    "fleet_suite",
     "tax_reform_suite",
     "demographic_suite",
     "shock_process_suite",
@@ -379,6 +380,30 @@ def smoke_suite() -> ScenarioSuite:
     return ScenarioSuite.cartesian("smoke", base, {"calibration.tau_labor": [0.10, 0.20]})
 
 
+def fleet_suite() -> ScenarioSuite:
+    """Eight tiny solves for exercising multi-worker suite draining.
+
+    Sized so a small worker fleet has real contention (more scenarios
+    than workers, every solve checkpointable) while the whole suite still
+    drains in seconds — the worker-fleet stress leg of
+    ``benchmarks/run_quick.sh`` and the two-worker example run this.
+    """
+    base = _base_solve(
+        "fleet",
+        calibration={"num_generations": 4, "num_states": 1, "beta": 0.8},
+        solver={"max_iterations": 12, "tolerance": 1e-3},
+        tags=("fleet",),
+    )
+    return ScenarioSuite.cartesian(
+        "fleet",
+        base,
+        {
+            "calibration.tau_labor": [0.05, 0.10, 0.15, 0.20],
+            "calibration.beta": [0.78, 0.82],
+        },
+    )
+
+
 def tax_reform_suite() -> ScenarioSuite:
     """Labor/capital tax reforms, including a stochastic-tax-regime variant."""
     base = _base_solve("tax", tags=("tax-reform",))
@@ -441,6 +466,7 @@ def _table2_suite() -> ScenarioSuite:
 #: Registry of named preset suites exposed by the CLI.
 _PRESETS: dict[str, Callable[[], ScenarioSuite]] = {
     "smoke": smoke_suite,
+    "fleet": fleet_suite,
     "tax-reform": tax_reform_suite,
     "demographics": demographic_suite,
     "shock-process": shock_process_suite,

@@ -131,6 +131,8 @@ class ResultsStore:
     MANIFEST_LOG = "manifest.log"
     LEGACY_MANIFEST = "manifest.json"
     ENTRY_FILE = "entry.json"
+    LEASE_PREFIX = "leases"
+    EVENTS_PREFIX = "events"
 
     def __init__(self, root, auto_compact_tail: int | None = None) -> None:
         """Open a store on a backend, URL, or plain local path.
@@ -206,6 +208,18 @@ class ResultsStore:
     def spec_key(self, spec_or_hash) -> str:
         return f"{self.scenario_key(spec_or_hash)}/spec.json"
 
+    # lease-protocol keys live under leases/<hash16>/ — two slashes, so
+    # _entry_keys' single-slash filter and the per-scenario prefix scans
+    # never mistake coordination state for scenario data
+    def lease_key(self, spec_or_hash) -> str:
+        return f"{self.LEASE_PREFIX}/{self.scenario_key(spec_or_hash)}/lease.json"
+
+    def attempts_key(self, spec_or_hash) -> str:
+        return f"{self.LEASE_PREFIX}/{self.scenario_key(spec_or_hash)}/attempts.json"
+
+    def parked_key(self, spec_or_hash) -> str:
+        return f"{self.LEASE_PREFIX}/{self.scenario_key(spec_or_hash)}/parked.json"
+
     def entry_ref(self, spec_or_hash) -> BlobRef:
         return self.backend.ref(self.entry_key(spec_or_hash))
 
@@ -220,6 +234,46 @@ class ResultsStore:
 
     def spec_ref(self, spec_or_hash) -> BlobRef:
         return self.backend.ref(self.spec_key(spec_or_hash))
+
+    def lease_ref(self, spec_or_hash) -> BlobRef:
+        return self.backend.ref(self.lease_key(spec_or_hash))
+
+    # ------------------------------------------------------------------ #
+    # lease/coordination state (read side; the protocol itself lives in
+    # repro.scenarios.lease)
+    # ------------------------------------------------------------------ #
+    def leases(self) -> list:
+        """All live lease records (``leases/<hash16>/lease.json``), parsed.
+
+        Each item is the lease JSON plus a ``scenario`` field carrying the
+        hash16 the key encodes.  Unreadable/torn records are skipped — a
+        lease vanishing mid-scan is normal operation, not corruption.
+        """
+        out = []
+        for key in self.backend.list(f"{self.LEASE_PREFIX}/"):
+            if not key.endswith("/lease.json"):
+                continue
+            try:
+                record = json.loads(self.backend.get(key))
+            except (OSError, json.JSONDecodeError):
+                continue
+            record["scenario"] = key.split("/")[1]
+            out.append(record)
+        return sorted(out, key=lambda r: r["scenario"])
+
+    def parked(self) -> list:
+        """All parked-scenario records (retry budget exhausted), parsed."""
+        out = []
+        for key in self.backend.list(f"{self.LEASE_PREFIX}/"):
+            if not key.endswith("/parked.json"):
+                continue
+            try:
+                record = json.loads(self.backend.get(key))
+            except (OSError, json.JSONDecodeError):
+                continue
+            record["scenario"] = key.split("/")[1]
+            out.append(record)
+        return sorted(out, key=lambda r: r["scenario"])
 
     # ------------------------------------------------------------------ #
     # path accessors (file:// stores only; kept for local tooling)
@@ -572,10 +626,24 @@ class ResultsStore:
         self.backend.put(self.payload_key(spec), _json_bytes(payload))
         return self._base_entry(spec, "completed", wall_time)
 
-    def failure_entry(self, spec: ScenarioSpec, status: str, wall_time: float, error: str) -> dict:
-        """Manifest entry for a failed/interrupted scenario (results untouched)."""
+    def failure_entry(
+        self,
+        spec: ScenarioSpec,
+        status: str,
+        wall_time: float,
+        error: str,
+        tb: str | None = None,
+    ) -> dict:
+        """Manifest entry for a failed/interrupted scenario (results untouched).
+
+        ``error`` is the one-line summary; ``tb`` optionally carries the
+        full formatted traceback so ``repro-scenarios show`` can explain a
+        failure without anyone re-running or digging through worker logs.
+        """
         entry = self._base_entry(spec, status, wall_time)
         entry["error"] = error
+        if tb:
+            entry["traceback"] = str(tb)
         return entry
 
     # ------------------------------------------------------------------ #
@@ -726,6 +794,11 @@ class ResultsStore:
                 f"{iters!s:>5} {conv:>5} {e.get('wall_time', float('nan')):>9.2f}  "
                 f"{e.get('library_version', '?')}"
             )
+        failed = [e for e in entries if e.get("status") == "failed" and e.get("traceback")]
+        for e in failed:
+            lines.append("")
+            lines.append(f"  traceback of {e['name']} [{e['spec_hash'][:12]}]:")
+            lines.extend("    " + tb_line for tb_line in e["traceback"].rstrip().splitlines())
         return "\n".join(lines)
 
 

@@ -1,0 +1,648 @@
+"""Fault-injection tests of the claim/lease worker-fleet protocol.
+
+Deterministic crash, drop and clock-skew scenarios driven through
+:class:`~repro.scenarios.backends.FaultInjectingBackend` and injectable
+clocks — no real kill -9, no sleeps longer than a heartbeat interval.
+The acceptance test (kill a lease-holding worker mid-solve, peer steals
+after TTL and resumes the dead worker's checkpoint bit-exactly) runs
+over all three backends via ``any_store_url``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel.tracing import LEASE_EVENT_KINDS, EventRecorder
+from repro.scenarios import (
+    ResultsStore,
+    ScenarioSpec,
+    ScenarioSuite,
+    run_suite,
+    run_worker,
+)
+from repro.scenarios.__main__ import main as cli_main
+from repro.scenarios.backends import (
+    FaultInjectingBackend,
+    InjectedCrash,
+    TransientStorageError,
+    backend_from_url,
+    call_with_retries,
+    is_transient,
+)
+from repro.scenarios.backends.retry import RETRIES_ENV, RETRY_BASE_ENV
+from repro.scenarios.checkpoint import SolveAbandoned, SolveCheckpoint
+from repro.scenarios.lease import (
+    LeaseHeartbeat,
+    LeaseLost,
+    LeaseManager,
+    store_event_sink,
+)
+
+
+def _tiny_solve_spec(name="tiny", **calibration) -> ScenarioSpec:
+    cal = {"num_generations": 4, "num_states": 1, "beta": 0.8}
+    cal.update(calibration)
+    return ScenarioSpec(
+        name,
+        calibration=cal,
+        solver={"grid_level": 2, "tolerance": 1e-3, "max_iterations": 12},
+    )
+
+
+def _payload_spec(i: int, name: str | None = None) -> ScenarioSpec:
+    return ScenarioSpec(
+        name or f"lease-{i}",
+        kind="ablations",
+        params={"which": "partition", "total_processes": 2 ** (1 + i)},
+    )
+
+
+def _broken_spec(name="broken") -> ScenarioSpec:
+    """A spec whose adapter deterministically raises (unknown ablation)."""
+    return ScenarioSpec(name, kind="ablations", params={"which": "no-such-ablation"})
+
+
+class _Clock:
+    """Settable fake clock: ``clock()`` returns ``now`` until advanced."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += float(dt)
+
+
+def _manager(store, worker, clock, ttl=10.0, events=None) -> LeaseManager:
+    return LeaseManager(
+        store, worker, ttl=ttl, clock=clock, events=events, retries=0, retry_base=0.0
+    )
+
+
+# --------------------------------------------------------------------------- #
+# claim / renew / release / steal mechanics
+# --------------------------------------------------------------------------- #
+class TestClaimProtocol:
+    def test_claim_renew_release_roundtrip(self, any_store_url):
+        store = ResultsStore.open(any_store_url)
+        clock = _Clock()
+        events = EventRecorder(clock=clock)
+        m = _manager(store, "w1", clock, events=events)
+        spec = _payload_spec(0)
+        lease = m.try_claim(spec)
+        assert lease is not None and lease.epoch == 1
+        assert lease.worker == "w1"
+        # the lease is a real object on the backend, under leases/<hash16>/
+        assert store.backend.exists(store.lease_key(spec))
+        clock.advance(3.0)
+        renewed = m.renew(lease)
+        assert renewed.renewed_at == clock.now
+        assert m.release(renewed) is True
+        assert store.leases() == []
+        assert [e.kind for e in events.events] == ["claimed", "heartbeat", "released"]
+        assert all(e.kind in LEASE_EVENT_KINDS for e in events.events)
+
+    def test_healthy_lease_is_not_claimable(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        clock = _Clock()
+        spec = _payload_spec(0)
+        assert _manager(store, "w1", clock).try_claim(spec) is not None
+        # a peer sharing the same clock sees a fresh renewal: no steal
+        assert _manager(store, "w2", clock).try_claim(spec) is None
+
+    def test_expired_lease_is_stolen_with_epoch_bump(self, any_store_url):
+        store = ResultsStore.open(any_store_url)
+        clock = _Clock()
+        events = EventRecorder(clock=clock)
+        spec = _payload_spec(0)
+        m1 = _manager(store, "w1", clock, ttl=5.0)
+        lease1 = m1.try_claim(spec)
+        assert lease1 is not None
+        clock.advance(5.1)  # past the TTL: w1 looks dead to everyone
+        m2 = _manager(store, "w2", clock, ttl=5.0, events=events)
+        lease2 = m2.try_claim(spec)
+        assert lease2 is not None and lease2.worker == "w2"
+        assert lease2.epoch == lease1.epoch + 1
+        assert events.by_kind("stolen")
+        # the superseded holder's renewal now fails: split-brain impossible
+        with pytest.raises(LeaseLost):
+            m1.renew(lease1)
+
+    def test_lost_put_race_detected_by_read_back(self, store_url_for):
+        # drop the claim put: the read-back sees no lease (as if a peer's
+        # racing put had overwritten ours) and try_claim reports defeat
+        backend = FaultInjectingBackend(backend_from_url(store_url_for("mem")))
+        store = ResultsStore(backend)
+        rule = backend.add_rule(op="put", substring="lease.json", action="drop", times=1)
+        clock = _Clock()
+        assert _manager(store, "w1", clock).try_claim(_payload_spec(0)) is None
+        assert rule.fired == 1
+        # next claim goes through untouched
+        assert _manager(store, "w1", clock).try_claim(_payload_spec(0)) is not None
+
+    def test_release_of_stolen_lease_is_a_noop(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        clock = _Clock()
+        spec = _payload_spec(0)
+        m1 = _manager(store, "w1", clock, ttl=2.0)
+        lease1 = m1.try_claim(spec)
+        clock.advance(2.1)
+        m2 = _manager(store, "w2", clock, ttl=2.0)
+        lease2 = m2.try_claim(spec)
+        assert lease2 is not None
+        # w1 releasing must not delete w2's lease
+        assert m1.release(lease1) is False
+        assert store.backend.exists(store.lease_key(spec))
+
+    def test_torn_lease_object_is_claimable(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        spec = _payload_spec(0)
+        store.backend.put(store.lease_key(spec), b"{not json")
+        assert _manager(store, "w1", _Clock()).try_claim(spec) is not None
+
+
+# --------------------------------------------------------------------------- #
+# clock skew (satellite: skewed workers)
+# --------------------------------------------------------------------------- #
+class TestClockSkew:
+    def test_slow_clocked_peer_never_steals_healthy_lease(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        owner_clock, slow_clock = _Clock(1000.0), _Clock(900.0)  # peer 100s behind
+        spec = _payload_spec(0)
+        owner = _manager(store, "owner", owner_clock, ttl=5.0)
+        lease = owner.try_claim(spec)
+        assert lease is not None
+        # however long the slow peer waits short of skew+ttl, the lease's
+        # renewed_at stays in the peer's future: age is negative, no steal
+        peer = _manager(store, "slow-peer", slow_clock, ttl=5.0)
+        for _ in range(3):
+            slow_clock.advance(30.0)
+            assert peer.try_claim(spec) is None
+        # and renewals keep pushing the steal horizon out
+        owner_clock.advance(90.0)
+        owner.renew(lease)
+        slow_clock.advance(14.0)  # peer now at 1004 < renewed_at 1090
+        assert peer.try_claim(spec) is None
+
+    def test_fast_clocked_owner_lease_still_expires_for_peers(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        fast_clock, peer_clock = _Clock(1100.0), _Clock(1000.0)  # owner 100s ahead
+        spec = _payload_spec(0)
+        owner = _manager(store, "fast-owner", fast_clock, ttl=5.0)
+        assert owner.try_claim(spec) is not None
+        # owner dies at t=1000 (peer frame); lease stamped renewed_at=1100.
+        # It is unstealable for skew+ttl, not forever:
+        peer = _manager(store, "peer", peer_clock, ttl=5.0)
+        peer_clock.advance(100.0)  # reaches the owner's stamp
+        assert peer.try_claim(spec) is None  # age 0 < ttl
+        peer_clock.advance(5.1)  # skew + ttl elapsed
+        stolen = peer.try_claim(spec)
+        assert stolen is not None and stolen.epoch == 2
+
+
+# --------------------------------------------------------------------------- #
+# heartbeat
+# --------------------------------------------------------------------------- #
+class TestHeartbeat:
+    def test_heartbeat_renews_until_stopped(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        m = _manager(store, "w1", _Clock(), ttl=10.0)
+        lease = m.try_claim(_payload_spec(0))
+        hb = LeaseHeartbeat(m, lease, interval=0.02).start()
+        deadline = threading.Event()
+        deadline.wait(0.2)
+        hb.stop()
+        assert not hb.abort_requested()
+        assert hb.lease.renewed_at >= lease.renewed_at
+        # stop() never releases: that is the owner's explicit decision
+        assert store.backend.exists(store.lease_key(_payload_spec(0)))
+
+    def test_stolen_lease_flips_abort_and_emits_heartbeat_missed(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        clock = _Clock()
+        events = EventRecorder(clock=clock)
+        m1 = _manager(store, "w1", clock, ttl=5.0, events=events)
+        spec = _payload_spec(0)
+        lease = m1.try_claim(spec)
+        clock.advance(5.1)
+        assert _manager(store, "thief", clock, ttl=5.0).try_claim(spec) is not None
+        hb = LeaseHeartbeat(m1, lease, interval=0.01).start()
+        for _ in range(200):
+            if hb.abort_requested():
+                break
+            threading.Event().wait(0.01)
+        hb.stop()
+        assert hb.abort_requested()
+        assert events.by_kind("heartbeat-missed")
+
+    def test_abort_hook_abandons_before_writing(self, tmp_path):
+        # the checkpoint polls abort() before every write: a worker whose
+        # lease is gone must not clobber the thief's newer checkpoint
+        ckpt = SolveCheckpoint(tmp_path / "x.npz", abort=lambda: True)
+        with pytest.raises(SolveAbandoned):
+            ckpt.on_iteration(None, [1], False, None)
+        assert not (tmp_path / "x.npz").exists()
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance test: kill -> steal -> resume, bit-exact
+# --------------------------------------------------------------------------- #
+class TestKillStealResume:
+    def test_killed_worker_is_stolen_and_resumed_bit_exactly(
+        self, any_store_url, store_url_for
+    ):
+        spec = _tiny_solve_spec("kill-steal", tau_labor=0.17)
+        suite = ScenarioSuite("one", [spec])
+
+        # worker A dies (uncatchable InjectedCrash, the in-process stand-in
+        # for kill -9) right after persisting its second checkpoint: lease
+        # and checkpoint stay behind, nothing was committed or released
+        crashing = FaultInjectingBackend(backend_from_url(any_store_url))
+        crashing.add_rule(
+            op="put", substring="checkpoint", action="crash", after=1, times=1
+        )
+        store_a = ResultsStore(crashing)
+        clock_a = _Clock(1000.0)
+        with pytest.raises(InjectedCrash):
+            run_worker(
+                suite,
+                store_a,
+                worker_id="victim",
+                ttl=30.0,
+                heartbeat_interval=1000.0,  # no renewals interfere mid-test
+                clock=clock_a,
+                backoff_base=0.0,
+            )
+        store = ResultsStore.open(any_store_url)
+        assert store.entry(spec) is None  # nothing committed
+        assert store.checkpoint_ref(spec).exists()
+        [left_behind] = store.leases()
+        assert left_behind["worker"] == "victim"
+
+        # worker B's clock is past the victim's TTL: it steals (epoch 2)
+        # and resumes from the dead worker's checkpoint
+        clock_b = _Clock(1000.0 + 30.0 + 1.0)
+        report = run_worker(
+            suite,
+            store,
+            worker_id="thief",
+            ttl=30.0,
+            heartbeat_interval=1000.0,
+            clock=clock_b,
+            backoff_base=0.0,
+        )
+        assert report.completed and report.steals == 1
+        entry = store.entry(spec)
+        assert entry["status"] == "completed" and entry["resumed"] is True
+        assert store.leases() == []  # released after commit
+
+        # bit-exactness: the stolen-and-resumed solve equals an
+        # uninterrupted solve of the same spec in a pristine store
+        fresh = ResultsStore.open(store_url_for("mem", name="uninterrupted"))
+        assert run_suite(suite, fresh).ok
+        a, b = store.load_result(spec), fresh.load_result(spec)
+        assert a.iterations == b.iterations
+        assert np.array_equal(a.error_history(), b.error_history())
+
+    def test_crash_between_commit_and_release_is_healed(self, any_store_url):
+        # the crash-safe release ordering: entry committed first, lease
+        # deleted second.  Crash in between and the suite still converges
+        # to zero lease objects via the expiry + heal path.
+        spec = _payload_spec(0, name="heal-me")
+        suite = ScenarioSuite("one", [spec])
+        crashing = FaultInjectingBackend(backend_from_url(any_store_url))
+        crashing.add_rule(
+            op="delete", substring="lease.json", action="crash", times=1
+        )
+        clock_a = _Clock(1000.0)
+        with pytest.raises(InjectedCrash):
+            run_worker(
+                ScenarioSuite("one", [spec]),
+                ResultsStore(crashing),
+                worker_id="victim",
+                ttl=10.0,
+                heartbeat_interval=1000.0,
+                clock=clock_a,
+                backoff_base=0.0,
+            )
+        store = ResultsStore.open(any_store_url)
+        assert store.entry_is_complete(store.entry(spec))  # commit landed
+        assert len(store.leases()) == 1  # ...but the lease survived
+
+        clock_b = _Clock(1000.0 + 10.0 + 1.0)
+        report = run_worker(
+            suite,
+            store,
+            worker_id="healer",
+            ttl=10.0,
+            heartbeat_interval=1000.0,
+            clock=clock_b,
+            backoff_base=0.0,
+        )
+        assert report.healed == 1 and report.already_done == [
+            store.scenario_key(spec)
+        ]
+        assert report.claims == 0  # nothing was re-solved
+        assert store.leases() == []
+
+
+# --------------------------------------------------------------------------- #
+# retry budget, parking, failed-entry tracebacks
+# --------------------------------------------------------------------------- #
+class TestFailureHandling:
+    def test_permanently_failing_scenario_is_parked(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        suite = ScenarioSuite("one", [_broken_spec()])
+        clock = _Clock()
+        report = run_worker(
+            suite,
+            store,
+            worker_id="w1",
+            max_attempts=2,
+            clock=clock,
+            backoff_base=0.0,
+            heartbeat_interval=1000.0,
+        )
+        assert report.parked == [store.scenario_key(_broken_spec())]
+        assert report.claims == 2  # exactly the attempt budget
+        [parked] = store.parked()
+        assert parked["attempts"] == 2
+        assert "no-such-ablation" in parked["error"]
+        assert store.leases() == []  # released between attempts and at parking
+        kinds = [e.kind for e in report.events.events]
+        assert "retry" in kinds and "parked" in kinds
+        # a second worker skips the parked scenario outright
+        second = run_worker(
+            suite, store, worker_id="w2", clock=clock, backoff_base=0.0
+        )
+        assert second.claims == 0 and second.parked
+
+    def test_retry_parked_clears_the_budget(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        broken = ScenarioSuite("one", [_broken_spec()])
+        clock = _Clock()
+        run_worker(
+            broken, store, worker_id="w1", max_attempts=1, clock=clock, backoff_base=0.0
+        )
+        assert store.parked()
+        report = run_worker(
+            broken,
+            store,
+            worker_id="w2",
+            max_attempts=1,
+            clock=clock,
+            backoff_base=0.0,
+            retry_parked=True,
+        )
+        assert report.claims == 1  # re-attempted after unparking
+        assert store.parked()  # ...and parked again (still broken)
+
+    def test_failed_entry_records_traceback_and_show_prints_it(
+        self, store_url_for, capsys
+    ):
+        url = store_url_for("file")
+        store = ResultsStore.open(url)
+        report = run_suite(ScenarioSuite("one", [_broken_spec()]), store)
+        assert report.count("failed") == 1
+        entry = store.entry(_broken_spec())
+        assert "Traceback (most recent call last)" in entry["traceback"]
+        assert "no-such-ablation" in entry["traceback"]
+        assert cli_main(["show", "--store", url]) == 0
+        out = capsys.readouterr().out
+        assert "Traceback (most recent call last)" in out
+        assert "traceback of broken" in out
+
+    def test_failure_backoff_grows_exponentially(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        delays: list = []
+        run_worker(
+            ScenarioSuite("one", [_broken_spec()]),
+            store,
+            worker_id="w1",
+            max_attempts=3,
+            clock=_Clock(),
+            backoff_base=1.0,
+            sleep=delays.append,
+            rng=lambda: 0.5,  # jitter multiplier pinned to 1.0
+        )
+        # one backoff after each non-final failed attempt: 1.0, then 2.0
+        assert delays == [1.0, 2.0]
+
+
+# --------------------------------------------------------------------------- #
+# transient-error retry (satellite: bounded retry + backoff everywhere)
+# --------------------------------------------------------------------------- #
+class TestTransientRetries:
+    def test_transient_classification(self):
+        assert is_transient(ConnectionError("reset"))
+        assert is_transient(TimeoutError("slow"))
+        assert is_transient(TransientStorageError("throttle"))
+        assert not is_transient(FileNotFoundError("absent is an answer"))
+        assert not is_transient(ValueError("a bug, not weather"))
+
+    def test_call_with_retries_absorbs_transient_blips(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise ConnectionError("blip")
+            return "ok"
+
+        assert (
+            call_with_retries(flaky, retries=3, base_delay=0.0, sleep=lambda s: None)
+            == "ok"
+        )
+        assert calls["n"] == 3
+
+    def test_retry_budget_exhaustion_reraises(self):
+        def always_down():
+            raise TimeoutError("still down")
+
+        with pytest.raises(TimeoutError):
+            call_with_retries(
+                always_down, retries=2, base_delay=0.0, sleep=lambda s: None
+            )
+
+    def test_non_transient_errors_are_never_retried(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            call_with_retries(broken, retries=5, base_delay=0.0)
+        assert calls["n"] == 1
+
+    def test_env_knob_controls_the_budget(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "5")
+        monkeypatch.setenv(RETRY_BASE_ENV, "0")
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 5:
+                raise ConnectionError("blip")
+            return "ok"
+
+        assert call_with_retries(flaky, sleep=lambda s: None) == "ok"
+        assert calls["n"] == 6
+
+    def test_objectstore_ops_retry_through_the_wrapper(
+        self, store_url_for, monkeypatch
+    ):
+        # the s3 backend's client calls run under call_with_retries: two
+        # injected transient failures on the same op are absorbed
+        monkeypatch.setenv(RETRIES_ENV, "3")
+        monkeypatch.setenv(RETRY_BASE_ENV, "0")
+        backend = backend_from_url(store_url_for("s3"))
+        fails = {"n": 0}
+        real_put = backend.client.put_object
+
+        def flaky_put(bucket, key, body):
+            if fails["n"] < 2:
+                fails["n"] += 1
+                raise ConnectionError("s3 blip")
+            return real_put(bucket, key, body)
+
+        monkeypatch.setattr(backend.client, "put_object", flaky_put)
+        backend.put("a/entry.json", b"{}")
+        assert fails["n"] == 2
+        assert backend.get("a/entry.json") == b"{}"
+
+    def test_lease_ops_survive_transient_store_blips(self, store_url_for):
+        backend = FaultInjectingBackend(backend_from_url(store_url_for("mem")))
+        store = ResultsStore(backend)
+        rule = backend.add_rule(
+            op="put",
+            substring="lease.json",
+            action="error",
+            exc=lambda: ConnectionError("blip"),
+            times=2,
+        )
+        m = LeaseManager(
+            store, "w1", ttl=5.0, clock=_Clock(), retries=3, retry_base=0.0
+        )
+        assert m.try_claim(_payload_spec(0)) is not None
+        assert rule.fired == 2
+
+
+# --------------------------------------------------------------------------- #
+# fleet drain: multiple workers, one store (exactly-once-effective)
+# --------------------------------------------------------------------------- #
+class TestFleetDrain:
+    def test_two_workers_drain_one_suite(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        suite = ScenarioSuite("drain", [_payload_spec(i) for i in range(8)])
+        reports: dict = {}
+
+        def drain(worker_id: str) -> None:
+            reports[worker_id] = run_worker(
+                suite, store, worker_id=worker_id, ttl=10.0, backoff_base=0.0, poll=0.01
+            )
+
+        threads = [
+            threading.Thread(target=drain, args=(f"w{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        index = store.index()
+        assert len(index) == 8  # every scenario exactly one committed entry
+        assert all(e["status"] == "completed" for e in index.values())
+        assert store.leases() == []  # fully drained: no lease objects remain
+        covered = set()
+        for report in reports.values():
+            covered.update(report.completed)
+            covered.update(report.already_done)
+        assert covered == set(store.scenario_key(s) for s in suite)
+
+    def test_worker_skips_scenarios_completed_by_others(self, store_url_for):
+        store = ResultsStore.open(store_url_for("mem"))
+        suite = ScenarioSuite("half", [_payload_spec(i) for i in range(4)])
+        run_suite(suite, store)  # a prior batch finished everything
+        report = run_worker(
+            suite, store, worker_id="late", clock=_Clock(), backoff_base=0.0
+        )
+        assert report.claims == 0
+        assert len(report.already_done) == 4
+
+
+# --------------------------------------------------------------------------- #
+# events and the status CLI (satellite: structured lease/progress events)
+# --------------------------------------------------------------------------- #
+class TestEventsAndStatus:
+    def test_worker_persists_structured_events(self, store_url_for):
+        store = ResultsStore.open(store_url_for("file"))
+        suite = ScenarioSuite("one", [_payload_spec(0)])
+        run_worker(suite, store, worker_id="emitter", clock=_Clock(), backoff_base=0.0)
+        raw = store.backend.get("events/emitter.jsonl").decode()
+        events = [json.loads(line) for line in raw.strip().splitlines()]
+        assert [e["kind"] for e in events] == ["claimed", "committed", "released"]
+        for event in events:
+            assert event["worker"] == "emitter"
+            assert event["scenario"] == store.scenario_key(_payload_spec(0))
+            assert event["kind"] in LEASE_EVENT_KINDS
+
+    def test_event_recorder_drops_broken_sinks(self):
+        recorder = EventRecorder(clock=_Clock())
+        seen: list = []
+
+        def broken(event):
+            raise RuntimeError("sink died")
+
+        recorder.subscribe(broken)
+        recorder.subscribe(seen.append)
+        recorder.emit("claimed", "w1", "abc")
+        recorder.emit("committed", "w1", "abc")
+        assert len(recorder.events) == 2  # the recorder itself never fails
+        assert len(seen) == 2  # healthy sinks keep receiving
+
+    def test_status_cli_lists_workers_and_leases(self, store_url_for, capsys):
+        url = store_url_for("file")
+        store = ResultsStore.open(url)
+        spec = _payload_spec(0)
+        m = LeaseManager(store, "fleet-worker-1", ttl=60.0)
+        assert m.try_claim(spec) is not None
+        assert cli_main(["status", "--store", url]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-worker-1" in out
+        assert store.scenario_key(spec) in out
+        # machine-readable form round-trips
+        assert cli_main(["status", "--store", url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["leases"][0]["worker"] == "fleet-worker-1"
+
+    def test_work_cli_drains_a_suite(self, store_url_for, capsys):
+        url = store_url_for("file")
+        code = cli_main(
+            [
+                "work",
+                "fleet",
+                "--store",
+                url,
+                "--ttl",
+                "30",
+                "--max-claims",
+                "2",
+                "--worker-id",
+                "cli-worker",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-worker" in out or "claim" in out
+        store = ResultsStore.open(url)
+        completed = [
+            e for e in store.index().values() if e["status"] == "completed"
+        ]
+        assert len(completed) == 2  # the claim budget
+        assert store.leases() == []

@@ -208,7 +208,7 @@ class TestRunner:
         # 'interrupted' entry; a genuine Ctrl-C must stop the whole batch
         import repro.scenarios.runner as runner_mod
 
-        def raise_interrupt(spec, store, task, t0):
+        def raise_interrupt(spec, store, t0, **kwargs):
             raise KeyboardInterrupt
 
         monkeypatch.setattr(runner_mod, "_execute_solve", raise_interrupt)
