@@ -142,6 +142,40 @@ print(f"worker-fleet stress OK on {store.url}: {len(index)} scenario(s) drained 
       "exactly-once-effective after SIGKILL; zero lease objects remain")
 EOF
 
+# --- run report over the fleet drain -------------------------------------- #
+# Render the self-contained HTML run report from the stressed store's event
+# feed and verify the telemetry recorded the drain faithfully: the SIGKILL
+# must show up as >= 1 steal, and every scenario's completion must appear
+# as a committed event.  CI sets QUICK_REPORT_OUT to a persistent path and
+# uploads the report as a per-run artifact.
+export QUICK_REPORT_OUT="${QUICK_REPORT_OUT:-$SCRATCH/fleet-report.html}"
+python -m repro.scenarios report --store "$FLEET_STORE" \
+    --format html -o "$QUICK_REPORT_OUT"
+FLEET_STORE_URL="$FLEET_STORE" python - <<'EOF'
+import os
+from repro.scenarios import ResultsStore, get_preset
+from repro.scenarios.report import gather_run_data
+
+store = ResultsStore.open(os.environ["FLEET_STORE_URL"])
+data = gather_run_data(store)
+assert data["steals"] >= 1, (
+    "the SIGKILLed victim's lease was never stolen "
+    f"(event counts: {data['event_counts']})"
+)
+committed = {
+    e.get("scenario") for e in store.events() if e.get("kind") == "committed"
+}
+expected = {store.scenario_key(s) for s in get_preset("fleet")}
+assert committed == expected, (
+    f"committed events cover {len(committed)}/{len(expected)} scenarios"
+)
+html = open(os.environ["QUICK_REPORT_OUT"]).read()
+assert html.startswith("<!DOCTYPE html>") and "<svg" in html
+assert "<script" not in html and "href=" not in html, "report is not self-contained"
+print(f"run report OK: {os.environ['QUICK_REPORT_OUT']} records "
+      f"{data['steals']} steal(s) and {len(committed)} completion(s)")
+EOF
+
 # write the quick sweep to a scratch file by default: the full-sweep
 # BENCH_hierarchize.json artifact at the repo root must not be clobbered
 export QUICK_BENCH_OUT="${QUICK_BENCH_OUT:-$SCRATCH/bench_quick.json}"

@@ -373,6 +373,9 @@ class TimeIterationSolver:
         initial_policy: PolicySet | None = None,
         error_sample: np.ndarray | None = None,
         checkpoint=None,
+        events=None,
+        worker: str = "",
+        scenario: str = "",
     ) -> TimeIterationResult:
         """Iterate until the policy change drops below the tolerance.
 
@@ -385,6 +388,21 @@ class TimeIterationSolver:
             Optional fixed sample of states at which model-specific
             equilibrium errors are recorded every iteration (used by the
             Fig. 9 experiment).
+        events, worker, scenario
+            Optional solve-progress telemetry: when ``events`` (an
+            :class:`~repro.parallel.tracing.EventRecorder`-shaped object
+            with an ``emit(kind, worker, scenario, **detail)`` method) is
+            given, the driver emits the
+            :data:`~repro.parallel.tracing.SOLVE_EVENT_KINDS` vocabulary —
+            ``solve-started`` (start iteration, tolerance, iteration cap),
+            one ``iteration`` event per completed step (iteration number,
+            l∞/l2 policy change, grid point count, per-iteration wall
+            time), ``refined`` when adaptive refinement grew the grids,
+            ``converged`` the moment the metric drops below tolerance and
+            ``solve-finished`` on return — attributed to ``worker`` /
+            ``scenario``.  Emission is pure observability: it never
+            changes the iterates and adds one in-memory append (plus
+            whatever subscribed sinks do) per iteration.
         checkpoint
             Optional checkpoint hook (duck-typed so this module needs no
             dependency on :mod:`repro.scenarios`; the concrete
@@ -407,17 +425,43 @@ class TimeIterationSolver:
         records: list[IterationRecord] = []
         converged = False
         start_iteration = 0
+        resumed = False
         if checkpoint is not None:
             state = checkpoint.load()
             if state is not None:
+                resumed = True
                 policy = state.policy
                 records = list(state.records)
                 converged = bool(state.converged)
                 start_iteration = records[-1].iteration if records else 0
-                if converged:
-                    return TimeIterationResult(
-                        policy=policy, records=records, converged=True, config=cfg
-                    )
+
+        def emit(kind: str, **detail) -> None:
+            if events is not None:
+                events.emit(kind, worker, scenario, **detail)
+
+        emit(
+            "solve-started",
+            start_iteration=start_iteration,
+            resumed=resumed,
+            tolerance=float(cfg.tolerance),
+            max_iterations=int(cfg.max_iterations),
+            metric=cfg.convergence_metric,
+            adaptive=bool(cfg.adaptive),
+            grid_level=int(cfg.grid_level),
+        )
+        if converged:
+            # resumed from an already-converged checkpoint: nothing to do
+            emit(
+                "solve-finished",
+                iterations=len(records),
+                new_iterations=0,
+                converged=True,
+                wall_time=0.0,
+            )
+            return TimeIterationResult(
+                policy=policy, records=records, converged=True, config=cfg
+            )
+        run_wall = 0.0
         for iteration in range(start_iteration + 1, cfg.max_iterations + 1):
             clock = WallClock()
             t0 = time.perf_counter()
@@ -439,8 +483,27 @@ class TimeIterationSolver:
                     new_policy, error_sample
                 )
             records.append(record)
+            run_wall += wall
             policy = new_policy
             metric_value = change.get(cfg.convergence_metric, change["linf"])
+            emit(
+                "iteration",
+                iteration=int(iteration),
+                error_linf=float(change["linf"]),
+                error_l2=float(change["l2"]),
+                error=float(metric_value),
+                points=int(record.total_points),
+                wall_time=float(wall),
+            )
+            if cfg.adaptive and len(records) > 1:
+                before = records[-2].total_points
+                if record.total_points != before:
+                    emit(
+                        "refined",
+                        iteration=int(iteration),
+                        points_before=int(before),
+                        points_after=int(record.total_points),
+                    )
             if cfg.verbose:
                 logger.info(
                     "iteration %d: %s = %.3e, points = %s",
@@ -451,12 +514,20 @@ class TimeIterationSolver:
                 )
             if metric_value < cfg.tolerance:
                 converged = True
+                emit("converged", iteration=int(iteration), error=float(metric_value))
             if checkpoint is not None:
                 checkpoint.on_iteration(policy, records, converged, cfg)
             if converged:
                 break
         if checkpoint is not None:
             checkpoint.on_complete(policy, records, converged, cfg)
+        emit(
+            "solve-finished",
+            iterations=len(records),
+            new_iterations=len(records) - start_iteration,
+            converged=bool(converged),
+            wall_time=float(run_wall),
+        )
         return TimeIterationResult(
             policy=policy, records=records, converged=converged, config=cfg
         )

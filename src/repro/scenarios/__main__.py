@@ -20,7 +20,14 @@ Installed as the ``repro-scenarios`` console script and runnable as
   the claim/lease protocol (any number of these processes against one
   shared ``--store``; see :mod:`repro.scenarios.lease`);
 * ``status`` — live fleet view of a store: held leases and their ages,
-  parked scenarios and entry status counts.
+  parked scenarios, entry status counts, and per-scenario solve progress
+  from the persisted event feed (``--follow`` tails the feed live,
+  streaming new events and refreshed progress/ETA lines every ``--poll``
+  seconds);
+* ``report`` — render a self-contained run report (markdown or HTML with
+  inline-SVG convergence curves and a per-worker fleet timeline) joining
+  the store's entries, solve-progress events, lease telemetry and parked
+  records (see :mod:`repro.scenarios.report`).
 
 Every ``--store`` flag accepts either a local directory or a store URL
 (``file:///abs/path``, ``mem://name``, ``s3://bucket/prefix?endpoint=...``
@@ -225,10 +232,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     status = sub.add_parser(
-        "status", help="fleet status of a store: held leases, parked scenarios, entries"
+        "status",
+        help="fleet status of a store: held leases, parked scenarios, entries, "
+        "solve progress (--follow tails the event feed live)",
     )
     status.add_argument("--store", default=_default_store(), help=_STORE_HELP)
     status.add_argument("--json", action="store_true", help="emit the status as JSON")
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the merged event feed live (new events + per-scenario "
+        "progress/ETA lines) until interrupted",
+    )
+    status.add_argument(
+        "--poll",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="re-read interval for --follow (default: %(default)s)",
+    )
+    status.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # testing hook: stop --follow after N cycles
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a self-contained run report (suite summary, convergence "
+        "curves, fleet timeline) from a store's entries and event feed",
+    )
+    report.add_argument("--store", default=_default_store(), help=_STORE_HELP)
+    report.add_argument(
+        "--format",
+        dest="fmt",
+        default="md",
+        choices=("md", "html"),
+        help="markdown (sparkline curves) or single-file HTML with inline SVG "
+        "(default: %(default)s)",
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
     return parser
 
 
@@ -316,7 +366,15 @@ def _cmd_work(args) -> int:
 
 
 def _cmd_status(args) -> int:
+    from repro.scenarios.report import follow, format_progress_line, progress_snapshot
+
     store = ResultsStore(args.store)
+    if args.follow:
+        try:
+            follow(store, poll=args.poll, max_polls=args.max_polls)
+        except KeyboardInterrupt:
+            print("", file=sys.stderr)
+        return 0
     now = time.time()
     leases = store.leases()
     parked = store.parked()
@@ -324,10 +382,18 @@ def _cmd_status(args) -> int:
     for entry in store.index().values():
         status = entry.get("status", "unknown")
         counts[status] = counts.get(status, 0) + 1
+    telemetry = progress_snapshot(store)
     if args.json:
         print(
             json.dumps(
-                {"leases": leases, "parked": parked, "entries": counts},
+                {
+                    "leases": leases,
+                    "parked": parked,
+                    "entries": counts,
+                    "progress": telemetry["progress"],
+                    "events": telemetry["event_counts"],
+                    "events_total": telemetry["events_total"],
+                },
                 indent=2,
                 sort_keys=True,
             )
@@ -362,6 +428,29 @@ def _cmd_status(args) -> int:
                 f"  {record['scenario']:<18} after {record.get('attempts', '?')} "
                 f"attempt(s): {record.get('error', '?')}"
             )
+    if telemetry["events_total"]:
+        kinds = ", ".join(
+            f"{n} {kind}" for kind, n in sorted(telemetry["event_counts"].items())
+        )
+        print(f"{telemetry['events_total']} event(s): {kinds}")
+        if telemetry["progress"]:
+            print("solve progress:")
+            for record in telemetry["progress"].values():
+                print(f"  {format_progress_line(record)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.scenarios.report import render_report
+
+    store = ResultsStore(args.store)
+    rendered = render_report(store, fmt=args.fmt)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote {args.fmt} report to {args.output}", file=sys.stderr)
+    else:
+        print(rendered)
     return 0
 
 
@@ -401,6 +490,9 @@ def _dispatch(args) -> int:
 
     if args.command == "status":
         return _cmd_status(args)
+
+    if args.command == "report":
+        return _cmd_report(args)
 
     # run
     try:

@@ -11,6 +11,15 @@ deterministic function of the previous iterate, the resumed run reproduces
 the uninterrupted run bit-for-bit (policies to machine precision, same
 iteration count from the resume point).
 
+Checkpointing is persistence only; the *observability* of the same
+iteration boundary — the ``solve-started``/``iteration``/``refined``/
+``converged``/``solve-finished`` vocabulary of
+:data:`repro.parallel.tracing.SOLVE_EVENT_KINDS` — is emitted by
+:meth:`TimeIterationSolver.solve` itself (pass ``events=``), so solves
+report progress whether or not they checkpoint, and the checkpoint's
+``abort`` hook stays the single cancellation point polled at every
+iteration before anything is written.
+
 Example
 -------
 >>> solver = TimeIterationSolver(model, config)

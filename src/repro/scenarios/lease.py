@@ -72,7 +72,7 @@ from repro.parallel.tracing import EventRecorder
 from repro.scenarios.backends.retry import call_with_retries
 from repro.scenarios.checkpoint import SolveAbandoned
 from repro.scenarios.runner import schedule_longest_first, solve_and_commit
-from repro.scenarios.store import ResultsStore
+from repro.scenarios.store import ResultsStore, StoreEventSink
 from repro.utils.logging import get_logger
 
 __all__ = [
@@ -456,21 +456,17 @@ class LeaseHeartbeat:
                     return
 
 
-def store_event_sink(store: ResultsStore, worker_id: str):
+def store_event_sink(store: ResultsStore, worker_id: str) -> StoreEventSink:
     """Sink persisting a worker's events as ``events/<worker_id>.jsonl``.
 
-    Object stores have no append, so the sink re-puts the whole (small)
-    event log on each event — the last put always leaves a complete,
-    readable JSONL object.
+    A :class:`~repro.scenarios.store.StoreEventSink`: lease-lifecycle and
+    solve-boundary events flush immediately, while high-frequency
+    ``iteration``/``refined``/``heartbeat`` events are batched so a
+    long solve costs a handful of object puts, not one per iteration.
+    Call :meth:`~repro.scenarios.store.StoreEventSink.flush` (the worker
+    loop does, on exit) to persist any buffered tail.
     """
-    key = f"{store.EVENTS_PREFIX}/{str(worker_id).replace('/', '-')}.jsonl"
-    lines: list = []
-
-    def sink(event) -> None:
-        lines.append(json.dumps(event.to_dict(), sort_keys=True))
-        store.backend.put(key, ("\n".join(lines) + "\n").encode("utf-8"))
-
-    return sink
+    return StoreEventSink(store, worker_id)
 
 
 @dataclass
@@ -546,7 +542,8 @@ def run_worker(
     worker_id = worker_id or default_worker_id()
     if events is None:
         events = EventRecorder(clock=clock)
-    events.subscribe(store_event_sink(store, worker_id))
+    sink = store_event_sink(store, worker_id)
+    events.subscribe(sink)
     say = progress if progress is not None else (lambda line: None)
     manager = LeaseManager(store, worker_id, ttl=ttl, clock=clock, events=events)
     report = WorkReport(worker_id=worker_id, events=events)
@@ -560,6 +557,56 @@ def run_worker(
             manager.clear_attempts(scenario)
     done: set = set()
 
+    try:
+        return _drain(
+            store=store,
+            specs=specs,
+            done=done,
+            manager=manager,
+            report=report,
+            events=events,
+            worker_id=worker_id,
+            say=say,
+            heartbeat_interval=heartbeat_interval,
+            max_attempts=max_attempts,
+            poll=poll,
+            checkpoint_every=checkpoint_every,
+            point_executor=point_executor,
+            point_workers=point_workers,
+            max_claims=max_claims,
+            backoff_base=backoff_base,
+            sleep=sleep,
+            rng=rng,
+        )
+    finally:
+        # persist any batched iteration/heartbeat events before exiting —
+        # crash paths (InjectedCrash, kill -9) simply lose the tail, which
+        # the feed's readers tolerate by design
+        sink.flush()
+
+
+def _drain(
+    *,
+    store,
+    specs,
+    done,
+    manager,
+    report,
+    events,
+    worker_id,
+    say,
+    heartbeat_interval,
+    max_attempts,
+    poll,
+    checkpoint_every,
+    point_executor,
+    point_workers,
+    max_claims,
+    backoff_base,
+    sleep,
+    rng,
+) -> WorkReport:
+    """The claim -> solve -> commit -> release loop of :func:`run_worker`."""
     while True:
         pending = []
         for scenario, spec in specs.items():
@@ -621,6 +668,8 @@ def run_worker(
                     point_executor=point_executor,
                     point_workers=point_workers,
                     abort=heartbeat.abort_requested,
+                    events=events,
+                    worker_id=worker_id,
                 )
             except SolveAbandoned as exc:
                 heartbeat.stop()

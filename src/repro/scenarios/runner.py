@@ -35,6 +35,8 @@ JSON payloads with the same provenance manifest.
 from __future__ import annotations
 
 import importlib
+import os
+import platform
 import statistics
 import time
 import traceback
@@ -168,6 +170,8 @@ def solve_and_commit(
     point_workers: int = 1,
     interrupt_after: int | None = None,
     abort=None,
+    events=None,
+    worker_id: str = "",
 ) -> dict:
     """Run one scenario against ``store`` and commit its manifest entry.
 
@@ -184,6 +188,14 @@ def solve_and_commit(
     :class:`SolveAbandoned` *propagates uncommitted* — an abandoning
     worker no longer owns the scenario and must not write an entry the
     rightful owner's result would have to out-rank.
+
+    ``events``/``worker_id`` wire solve-progress telemetry through the
+    time-iteration driver: when an
+    :class:`~repro.parallel.tracing.EventRecorder` is given, solve
+    scenarios emit ``solve-started``/``iteration``/``refined``/
+    ``converged``/``solve-finished`` events attributed to ``worker_id``
+    and the scenario's hash16 key (experiment scenarios emit nothing —
+    they have no iteration structure).
     """
     # persist the spec up front so even interrupted/failed entries can be
     # inspected and diffed (spec deltas explain *why* a variant failed)
@@ -200,6 +212,8 @@ def solve_and_commit(
                 point_workers=point_workers,
                 interrupt_after=interrupt_after,
                 abort=abort,
+                events=events,
+                worker_id=worker_id,
             )
         else:
             adapter = _resolve_adapter(spec.kind)
@@ -237,17 +251,36 @@ def _execute_task(task: dict) -> dict:
     the worker is safe — entry files are per-hash and the log append is
     atomic — and makes finished work durable even if the parent dies
     before the batch barrier.
+
+    Every task emits solve-progress events into the store's
+    ``events/runner-<host>-<pid>.jsonl`` feed (one object per OS worker;
+    sequential tasks in one process append to the same feed), so batch
+    runs are observable through ``status --follow`` and ``report``
+    exactly like lease-fleet drains.
     """
+    from repro.parallel.tracing import EventRecorder
+    from repro.scenarios.store import StoreEventSink
+
     spec = ScenarioSpec.from_dict(task["spec"])
     store = ResultsStore.open(task["store_url"])
-    return solve_and_commit(
-        spec,
-        store,
-        checkpoint_every=int(task.get("checkpoint_every", 1)),
-        point_executor=task.get("point_executor", "serial"),
-        point_workers=int(task.get("point_workers", 1)),
-        interrupt_after=task.get("interrupt_after"),
-    )
+    host = platform.node().split(".")[0].replace("/", "-") or "host"
+    worker_id = f"runner-{host}-{os.getpid()}"
+    events = EventRecorder()
+    sink = StoreEventSink(store, worker_id)
+    events.subscribe(sink)
+    try:
+        return solve_and_commit(
+            spec,
+            store,
+            checkpoint_every=int(task.get("checkpoint_every", 1)),
+            point_executor=task.get("point_executor", "serial"),
+            point_workers=int(task.get("point_workers", 1)),
+            interrupt_after=task.get("interrupt_after"),
+            events=events,
+            worker_id=worker_id,
+        )
+    finally:
+        sink.flush()
 
 
 def _execute_solve(
@@ -260,6 +293,8 @@ def _execute_solve(
     point_workers: int = 1,
     interrupt_after: int | None = None,
     abort=None,
+    events=None,
+    worker_id: str = "",
 ) -> dict:
     config = spec.build_config()
     model = spec.build_model()
@@ -284,7 +319,12 @@ def _execute_solve(
             ckpt_path, every=checkpoint_every, config=config, abort=abort
         )
     resumed = checkpoint.exists()
-    result = solver.solve(checkpoint=checkpoint)
+    result = solver.solve(
+        checkpoint=checkpoint,
+        events=events,
+        worker=worker_id,
+        scenario=store.scenario_key(spec),
+    )
     return store.write_result(spec, result, time.perf_counter() - t0, resumed=resumed)
 
 

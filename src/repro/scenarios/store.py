@@ -16,6 +16,12 @@ Key layout (identical across backends)::
     commit-snapshots/snapshot-<seq>.json  # compacted commit-log checkpoint
     manifest-segments/<stamp>-<rand>.jsonl  # file://: rotated log awaiting the fold
     manifest.v1.json            # parked copy of a migrated legacy manifest
+    leases/<hash16>/...         # claim/lease coordination state (lease.py)
+    events/<worker>.jsonl       # per-worker structured event feed (lease
+                                # lifecycle + per-iteration solve progress,
+                                # batched via StoreEventSink; the read side
+                                # is events()/worker_events() and the
+                                # status --follow tailer in report.py)
     <hash16>/                   # one key prefix per scenario content hash
       entry.json                # the manifest entry, committed atomically
       spec.json                 # the full ScenarioSpec that produced it
@@ -86,7 +92,7 @@ from repro.scenarios.backends import (
 from repro.scenarios.spec import ScenarioSpec
 from repro.utils.logging import get_logger
 
-__all__ = ["ResultsStore", "ScenarioStore"]
+__all__ = ["ResultsStore", "ScenarioStore", "StoreEventSink", "parse_event_lines"]
 
 logger = get_logger("scenarios.store")
 
@@ -274,6 +280,49 @@ class ResultsStore:
             record["scenario"] = key.split("/")[1]
             out.append(record)
         return sorted(out, key=lambda r: r["scenario"])
+
+    # ------------------------------------------------------------------ #
+    # structured events (read side; emitted through StoreEventSink)
+    # ------------------------------------------------------------------ #
+    def event_keys(self) -> list:
+        """Keys of every per-worker event log (``events/<worker>.jsonl``)."""
+        return [
+            key
+            for key in self.backend.list(f"{self.EVENTS_PREFIX}/")
+            if key.endswith(".jsonl")
+        ]
+
+    def worker_events(self) -> dict:
+        """worker id -> parsed event dicts, in emission order per worker.
+
+        Complete JSONL lines only: a torn trailing line (a writer racing
+        this read on a non-atomic transport) is silently skipped — the
+        next read sees it whole.
+        """
+        out: dict = {}
+        for key in self.event_keys():
+            try:
+                raw = self.backend.get(key)
+            except FileNotFoundError:
+                continue  # deleted between list and get
+            worker = key.rsplit("/", 1)[-1][: -len(".jsonl")]
+            out[worker] = parse_event_lines(raw)
+        return out
+
+    def events(self) -> list:
+        """Every persisted event across all workers, time-ordered.
+
+        The merged solve-progress + lease-protocol feed ``status`` and
+        ``report`` consume.  Ordering is by event timestamp (worker id,
+        then per-worker emission order as tiebreaks), so interleaved
+        workers read as one chronological story.
+        """
+        merged = []
+        for worker, events in sorted(self.worker_events().items()):
+            for seq, event in enumerate(events):
+                merged.append((float(event.get("timestamp", 0.0)), worker, seq, event))
+        merged.sort(key=lambda item: item[:3])
+        return [event for _, _, _, event in merged]
 
     # ------------------------------------------------------------------ #
     # path accessors (file:// stores only; kept for local tooling)
@@ -800,6 +849,105 @@ class ResultsStore:
             lines.append(f"  traceback of {e['name']} [{e['spec_hash'][:12]}]:")
             lines.extend("    " + tb_line for tb_line in e["traceback"].rstrip().splitlines())
         return "\n".join(lines)
+
+
+def parse_event_lines(raw: bytes) -> list:
+    """Parse an ``events/*.jsonl`` blob into event dicts, tolerantly.
+
+    Only *complete* lines (terminated by a newline) are parsed: a torn
+    trailing line — a whole-object put racing the read on a transport
+    without atomic visibility — is skipped and picked up whole on the
+    next read.  Unparseable or non-dict lines are dropped rather than
+    failing the feed.
+    """
+    events = []
+    text = raw.decode("utf-8", errors="replace")
+    complete, sep, _tail = text.rpartition("\n")
+    if not sep:
+        return events
+    for line in complete.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+class StoreEventSink:
+    """Event sink persisting one worker's feed as ``events/<worker>.jsonl``.
+
+    Object stores have no append primitive, so the sink re-puts the whole
+    (small) event-log object — the last put always leaves a complete,
+    readable JSONL object, which is exactly what the ``status --follow``
+    tailer's byte offsets rely on (the object only ever *grows*).
+
+    Writes are **batched**: high-frequency solve-progress events
+    (``iteration``/``refined``/``heartbeat``) are buffered and flushed
+    once ``flush_every`` events or ``flush_interval`` seconds accumulate,
+    so a 200-iteration solve costs a handful of object puts instead of
+    200.  Lease-lifecycle and solve-boundary events (``claimed``,
+    ``committed``, ``solve-started``, ``converged``, ...) flush
+    immediately — the rare, load-bearing transitions are visible to
+    ``status --follow`` within one poll.  Call :meth:`flush` before the
+    worker exits to persist any buffered tail.
+
+    A sink opened for a worker id that already has an event log *appends*
+    to it (the existing object is loaded as the immutable head), so a
+    restarted worker or several sequential in-process tasks sharing one
+    id never clobber earlier events.
+    """
+
+    #: kinds buffered for batched flushing; everything else flushes now
+    BUFFERED_KINDS = frozenset({"iteration", "refined", "heartbeat"})
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        worker_id: str,
+        flush_every: int = 25,
+        flush_interval: float = 2.0,
+        clock=time.time,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.store = store
+        self.key = f"{store.EVENTS_PREFIX}/{str(worker_id).replace('/', '-')}.jsonl"
+        self.flush_every = int(flush_every)
+        self.flush_interval = float(flush_interval)
+        self.clock = clock
+        try:
+            head = store.backend.get(self.key)
+            # keep only whole lines of the existing log as the head; an
+            # (impossible-under-contract) torn tail must not glue itself
+            # onto the first new event line
+            self._head = head[: head.rfind(b"\n") + 1]
+        except FileNotFoundError:
+            self._head = b""
+        self._pending: list = []
+        self._last_flush = float(clock())
+
+    def __call__(self, event) -> None:
+        self._pending.append(json.dumps(event.to_dict(), sort_keys=True))
+        if (
+            event.kind not in self.BUFFERED_KINDS
+            or len(self._pending) >= self.flush_every
+            or float(self.clock()) - self._last_flush >= self.flush_interval
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist any buffered events (one whole-object put)."""
+        if not self._pending:
+            return
+        self._head += ("\n".join(self._pending) + "\n").encode("utf-8")
+        self._pending.clear()
+        self.store.backend.put(self.key, self._head)
+        self._last_flush = float(self.clock())
 
 
 #: the name the storage-backend redesign is documented under; ``ResultsStore``

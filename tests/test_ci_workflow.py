@@ -178,3 +178,31 @@ class TestCompactionAndFixtureCache:
     def test_conftest_honours_the_fixture_cache_variable(self):
         conftest = (REPO / "tests" / "conftest.py").read_text()
         assert "REPRO_TEST_FIXTURE_CACHE" in conftest
+
+
+class TestObservability:
+    """PR 7 additions: fleet run report generated + uploaded per run."""
+
+    def test_bench_script_reports_on_the_fleet_drain(self):
+        # the SIGKILL-steal fleet leg must render the HTML run report and
+        # assert the telemetry recorded >= 1 steal and every completion
+        script = (REPO / "benchmarks" / "run_quick.sh").read_text()
+        assert "scenarios report" in script
+        assert "--format html" in script
+        assert 'QUICK_REPORT_OUT="${QUICK_REPORT_OUT:-' in script  # overridable
+        assert 'data["steals"] >= 1' in script
+        assert "committed == expected" in script
+
+    def test_bench_job_uploads_fleet_report_artifact(self, workflow):
+        job = workflow["jobs"]["bench"]
+        uploads = [
+            step for step in job["steps"]
+            if step.get("uses", "").startswith("actions/upload-artifact@")
+        ]
+        report_uploads = [
+            step for step in uploads if "fleet-report.html" in step["with"]["path"]
+        ]
+        assert report_uploads, "bench job must upload the fleet run report"
+        assert report_uploads[0]["with"]["if-no-files-found"] == "ignore"
+        commands = " && ".join(_run_commands(job))
+        assert "QUICK_REPORT_OUT" in commands
