@@ -38,7 +38,14 @@ import numpy as np
 from repro.core.compression import CompressedGrid
 from repro.grids.hierarchical import basis_1d_vectorized
 
-__all__ = ["evaluate", "list_kernels", "get_kernel", "KERNELS", "factor_values"]
+__all__ = [
+    "evaluate",
+    "list_kernels",
+    "get_kernel",
+    "KERNELS",
+    "factor_values",
+    "basis_matrix",
+]
 
 
 # --------------------------------------------------------------------------- #
@@ -84,6 +91,21 @@ def _validate(comp: CompressedGrid, surplus: np.ndarray, X: np.ndarray):
     if X.shape[1] != comp.dim:
         raise ValueError(f"query points must have {comp.dim} columns, got {X.shape[1]}")
     return surplus, X
+
+
+def basis_matrix(comp: CompressedGrid, unit_X: np.ndarray) -> np.ndarray:
+    """Tensor-product basis values of every (reordered) grid point at ``unit_X``.
+
+    Returns an ``(m, num_points)`` matrix whose row ``q``, dotted with
+    ``comp.reorder_cached(surplus)``, reproduces the ``cuda`` kernel's value
+    at query ``q`` exactly.  Materializing the matrix once lets many surplus
+    sets that share one grid be evaluated with a single basis pass plus one
+    small GEMM each — the stacked-surplus path of the batched solver.
+    """
+    unit_X = np.atleast_2d(np.asarray(unit_X, dtype=float))
+    if unit_X.shape[1] != comp.dim:
+        raise ValueError(f"query points must have {comp.dim} columns")
+    return _chain_products(comp, factor_values(comp, unit_X))
 
 
 # --------------------------------------------------------------------------- #

@@ -217,6 +217,22 @@ class TimeIterationSolver:
         # Regular grids reused across states and iterations (never mutated,
         # so their ancestor/compression caches are shared as well).
         self._grid_cache: dict[tuple[int, int], SparseGrid] = {}
+        # Domain-mapped grid points, keyed by grid identity + version.  The
+        # non-adaptive loop maps the same points every state and iteration;
+        # profiling the batched-solve work showed this allocation in the
+        # per-iteration hot path.  Holding the grid reference keeps the id
+        # stable; a version bump (adaptive refinement) invalidates.
+        self._points_cache: dict[int, tuple[SparseGrid, int, np.ndarray]] = {}
+
+    def _points_on_domain(self, grid: SparseGrid) -> np.ndarray:
+        """``domain.from_unit(grid.points)``, cached per (grid, version)."""
+        entry = self._points_cache.get(id(grid))
+        if entry is not None and entry[0] is grid and entry[1] == grid.version:
+            return entry[2]
+        X = self.model.domain.from_unit(grid.points)
+        X.flags.writeable = False
+        self._points_cache[id(grid)] = (grid, grid.version, X)
+        return X
 
     def _regular_grid(self, level: int) -> SparseGrid:
         """Shared regular grid for the model's state dimension (cached).
@@ -242,7 +258,7 @@ class TimeIterationSolver:
         policies = []
         for z in range(self.model.num_states):
             grid = self._regular_grid(self.config.grid_level)
-            X = self.model.domain.from_unit(grid.points)
+            X = self._points_on_domain(grid)
             values = np.atleast_2d(
                 np.asarray(self.model.initial_policy_values(z, X), dtype=float)
             )
@@ -301,7 +317,7 @@ class TimeIterationSolver:
                     # shared cached grid: ancestor structure and compression
                     # are reused across states and iterations
                     grid = self._regular_grid(cfg.grid_level)
-            X = self.model.domain.from_unit(grid.points)
+            X = self._points_on_domain(grid)
             with clock.section("solve"):
                 guesses = (
                     np.atleast_2d(prev(X)) if cfg.warm_start else None
@@ -312,7 +328,7 @@ class TimeIterationSolver:
             with clock.section("fit"):
                 if cfg.damping < 1.0:
                     values = cfg.damping * values + (1.0 - cfg.damping) * np.atleast_2d(
-                        prev(self.model.domain.from_unit(grid.points))
+                        prev(self._points_on_domain(grid))
                     )
                 policy = StatePolicy.from_values(
                     z, grid, values, self.model.domain, kernel=cfg.kernel

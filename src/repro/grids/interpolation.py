@@ -35,7 +35,50 @@ from repro.grids.grid import SparseGrid
 from repro.grids.hierarchize import hierarchize
 from repro.grids.regular import regular_sparse_grid
 
-__all__ = ["SparseGridInterpolant"]
+__all__ = ["SparseGridInterpolant", "evaluate_stacked"]
+
+
+def evaluate_stacked(
+    interpolants: list["SparseGridInterpolant"], Xs: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Evaluate several interpolants sharing one grid with one basis pass.
+
+    Every interpolant must reference the *same* grid object (e.g. the shared
+    cached regular grid of the batched multi-scenario solver) and is paired
+    with its own query block ``Xs[i]`` expressed in its own problem box.
+    Equivalent to ``[interp(X) for interp, X in zip(interpolants, Xs)]``
+    with the ``cuda`` kernel — bitwise, since that kernel is exactly a
+    basis-matrix GEMM — but the per-query basis factors are computed once
+    for the union of all query blocks, so ``k`` surplus sets pay one basis
+    pass plus ``k`` small GEMMs instead of ``k`` full kernel evaluations.
+    """
+    from repro.core.compression import compressed_for
+    from repro.core.kernels import basis_matrix
+
+    if not interpolants:
+        return []
+    if len(interpolants) != len(Xs):
+        raise ValueError("need one query block per interpolant")
+    grid = interpolants[0].grid
+    blocks = []
+    for interp, X in zip(interpolants, Xs):
+        if interp.grid is not grid:
+            raise ValueError("evaluate_stacked requires one shared grid object")
+        X2 = np.atleast_2d(np.asarray(X, dtype=float))
+        if X2.shape[1] != grid.dim:
+            raise ValueError(f"query points must have {grid.dim} columns")
+        blocks.append(interp.domain.to_unit(X2))
+    comp = compressed_for(grid)
+    basis = basis_matrix(comp, np.concatenate(blocks, axis=0))
+    outs: list[np.ndarray] = []
+    start = 0
+    for interp, block in zip(interpolants, blocks):
+        stop = start + block.shape[0]
+        # the frozen 2-D surplus view keeps the reorder memoization hitting
+        out = basis[start:stop] @ comp.reorder_cached(interp._surplus_2d)
+        outs.append(out[:, 0] if interp.surplus.ndim == 1 else out)
+        start = stop
+    return outs
 
 
 class SparseGridInterpolant:

@@ -46,10 +46,10 @@ from repro.olg.calibration import OLGCalibration
 from repro.olg.government import FiscalPolicy, GovernmentBudget
 from repro.olg.preferences import CRRAUtility
 from repro.olg.production import CobbDouglasTechnology, Prices
-from repro.olg.solver import NewtonSolver
+from repro.olg.solver import BatchNewtonSolver, NewtonSolver
 from repro.utils.rng import default_rng
 
-__all__ = ["OLGModel", "PeriodEnvironment"]
+__all__ = ["OLGModel", "PeriodEnvironment", "BatchPeriodEnvironment"]
 
 _LOG_SAVINGS_FLOOR = -16.0  # exp(-16) ~ 1e-7: effectively the borrowing constraint
 
@@ -62,6 +62,14 @@ class PeriodEnvironment:
     budget: GovernmentBudget
     gross_return: float        # 1 + (1 - tau_c) * r_net
     incomes: np.ndarray        # after-tax non-asset income by age
+
+
+@dataclass(frozen=True)
+class BatchPeriodEnvironment:
+    """Per-period aggregates for a batch of ``m`` states at once."""
+
+    gross_return: np.ndarray   # (m,) after-tax gross return factor
+    incomes: np.ndarray        # (m, A) after-tax non-asset income by age
 
 
 class OLGModel:
@@ -366,6 +374,260 @@ class OLGModel:
         resources = env.gross_return * holdings + env.incomes
         rate = 0.4
         return np.maximum(rate * resources[: self.num_savers], 1e-6)
+
+    # ------------------------------------------------------------------ #
+    # batched (vectorized over grid points) counterparts
+    # ------------------------------------------------------------------ #
+    # The scalar methods above solve one grid point per call, which makes
+    # every residual evaluation a separate single-point interpolation of
+    # next period's policies — the profiled hotspot of a solve.  The batch
+    # methods below run the identical formulas over an ``(m, ...)`` axis so
+    # one residual evaluation interpolates all ``m`` points per shock state
+    # in a single kernel call.  They are used by the batched time-iteration
+    # driver (:mod:`repro.core.batched`); the scalar path is untouched and
+    # remains the bit-exact reference.
+
+    def unpack_states(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`unpack_state`: ``(m, d) -> ((m,), (m, A))``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        A = self.calibration.num_generations
+        K = X[:, 0]
+        holdings = np.zeros((X.shape[0], A), dtype=float)
+        holdings[:, 1 : A - 1] = X[:, 1:]
+        holdings[:, A - 1] = np.maximum(K - X[:, 1:].sum(axis=1), 0.0)
+        return K, holdings
+
+    def pack_next_states(self, savings: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pack_next_state`: ``(m, A-1) -> (m, d)``."""
+        savings = np.atleast_2d(np.asarray(savings, dtype=float))
+        K_next = savings.sum(axis=1)
+        x_next = np.concatenate(
+            [K_next[:, None], savings[:, : self.num_savers - 1]], axis=1
+        )
+        return np.clip(x_next, self.domain.lower, self.domain.upper)
+
+    def environment_batch(self, z: int, K: np.ndarray) -> BatchPeriodEnvironment:
+        """Vectorized :meth:`environment` over an array of capital stocks."""
+        cal = self.calibration
+        shocks = cal.shocks
+        zeta = float(shocks.label("productivity")[z])
+        delta = float(shocks.label("depreciation")[z])
+        tau_l = float(shocks.label("tau_labor")[z])
+        tau_c = float(shocks.label("tau_capital")[z])
+        K = np.asarray(K, dtype=float)
+        L = max(float(cal.labor_supply), self.technology.capital_floor)
+        ratio = np.maximum(K, self.technology.capital_floor) / L
+        wage = (1.0 - self.technology.theta) * zeta * ratio**self.technology.theta
+        r_gross = self.technology.theta * zeta * ratio ** (self.technology.theta - 1.0)
+        return_net = r_gross - delta
+        labor_revenue = tau_l * wage * cal.labor_supply
+        if cal.num_retired > 0:
+            pension = labor_revenue / cal.num_retired
+        else:
+            pension = np.zeros_like(wage)
+        capital_revenue = tau_c * return_net * np.maximum(K, 0.0)
+        if self.fiscal.rebate_capital_tax and cal.num_generations:
+            transfer = capital_revenue / cal.num_generations
+        else:
+            transfer = np.zeros_like(wage)
+        gross_return = 1.0 + (1.0 - tau_c) * return_net
+        ages = np.arange(cal.num_generations)
+        worker_income = ((1.0 - tau_l) * wage)[:, None] * np.asarray(
+            cal.efficiency, dtype=float
+        )[None, :]
+        incomes = np.where(
+            ages[None, :] < cal.retirement_age, worker_income, pension[:, None]
+        )
+        incomes = incomes + transfer[:, None]
+        return BatchPeriodEnvironment(gross_return=gross_return, incomes=incomes)
+
+    def consumption_today_batch(
+        self,
+        env: BatchPeriodEnvironment,
+        holdings: np.ndarray,
+        savings: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`consumption_today`: ``(m, A)`` consumption."""
+        A = self.calibration.num_generations
+        resources = env.gross_return[:, None] * holdings + env.incomes
+        consumption = np.empty_like(resources)
+        consumption[:, : A - 1] = resources[:, : A - 1] - savings
+        consumption[:, A - 1] = resources[:, A - 1]
+        return consumption
+
+    def _next_period_consumption_batch(
+        self,
+        z_next: int,
+        savings: np.ndarray,
+        next_policy_values: np.ndarray,
+    ) -> tuple[np.ndarray, BatchPeriodEnvironment]:
+        """Vectorized :meth:`_next_period_consumption` over ``m`` points."""
+        ns = self.num_savers
+        K_next = savings.sum(axis=1)
+        env_next = self.environment_batch(z_next, K_next)
+        next_savings = np.maximum(next_policy_values[:, :ns], 0.0)
+        save_next = np.zeros_like(savings)
+        save_next[:, : ns - 1] = next_savings[:, 1:ns]
+        consumption = (
+            env_next.gross_return[:, None] * savings + env_next.incomes[:, 1:] - save_next
+        )
+        return consumption, env_next
+
+    def euler_residuals_batch(
+        self,
+        z: int,
+        X: np.ndarray,
+        savings: np.ndarray,
+        policy_next: PolicySet,
+    ) -> np.ndarray:
+        """Vectorized :meth:`euler_residuals`: ``(m, A-1)`` residuals."""
+        cal = self.calibration
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        savings = np.atleast_2d(np.asarray(savings, dtype=float))
+        K, holdings = self.unpack_states(X)
+        env = self.environment_batch(z, K)
+        consumption = self.consumption_today_batch(env, holdings, savings)
+        mu_today = self.utility.marginal_utility(consumption[:, : self.num_savers])
+
+        x_next = self.pack_next_states(savings)
+        pi_row = cal.shocks.transition[z]
+        expected = np.zeros_like(mu_today)
+        for z_next in range(self.num_states):
+            prob = pi_row[z_next]
+            if prob <= 0.0:
+                continue
+            next_values = np.atleast_2d(
+                np.asarray(policy_next.evaluate(z_next, x_next), dtype=float)
+            )
+            cons_next, env_next = self._next_period_consumption_batch(
+                z_next, savings, next_values
+            )
+            mu_next = self.utility.marginal_utility(cons_next)
+            expected += prob * env_next.gross_return[:, None] * mu_next
+        return mu_today - cal.beta * expected
+
+    def value_functions_batch(
+        self,
+        z: int,
+        X: np.ndarray,
+        savings: np.ndarray,
+        policy_next: PolicySet,
+    ) -> np.ndarray:
+        """Vectorized :meth:`value_functions`: ``(m, A-1)`` Bellman updates."""
+        cal = self.calibration
+        ns = self.num_savers
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        savings = np.atleast_2d(np.asarray(savings, dtype=float))
+        K, holdings = self.unpack_states(X)
+        env = self.environment_batch(z, K)
+        consumption = self.consumption_today_batch(env, holdings, savings)
+        utility_today = self.utility.utility(consumption[:, :ns])
+
+        x_next = self.pack_next_states(savings)
+        pi_row = cal.shocks.transition[z]
+        continuation = np.zeros_like(utility_today)
+        for z_next in range(self.num_states):
+            prob = pi_row[z_next]
+            if prob <= 0.0:
+                continue
+            next_values = np.atleast_2d(
+                np.asarray(policy_next.evaluate(z_next, x_next), dtype=float)
+            )
+            cons_next, _ = self._next_period_consumption_batch(
+                z_next, savings, next_values
+            )
+            value_next = np.empty_like(utility_today)
+            value_next[:, : ns - 1] = next_values[:, ns + 1 : 2 * ns]
+            # tomorrow's terminal generation consumes everything
+            value_next[:, ns - 1] = self.utility.utility(cons_next[:, ns - 1])
+            continuation += prob * value_next
+        return utility_today + cal.beta * continuation
+
+    def _savings_guess_batch(
+        self, z: int, X: np.ndarray, guesses: np.ndarray | None
+    ) -> np.ndarray:
+        """Vectorized :meth:`_savings_guess` with per-row validity checks."""
+        ns = self.num_savers
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        m = X.shape[0]
+        out = np.empty((m, ns), dtype=float)
+        need_fallback = np.ones(m, dtype=bool)
+        if guesses is not None:
+            guesses = np.atleast_2d(np.asarray(guesses, dtype=float))
+            sav = guesses[:, :ns]
+            valid = np.all(np.isfinite(sav), axis=1) & np.any(sav > 0, axis=1)
+            out[valid] = np.maximum(sav[valid], 1e-8)
+            need_fallback = ~valid
+        if need_fallback.any():
+            rows = np.flatnonzero(need_fallback)
+            K, holdings = self.unpack_states(X[rows])
+            env = self.environment_batch(z, K)
+            resources = env.gross_return[:, None] * holdings + env.incomes
+            out[rows] = np.maximum(0.4 * resources[:, :ns], 1e-6)
+        return out
+
+    def solve_points_batch(
+        self,
+        z: int,
+        X: np.ndarray,
+        policy_next: PolicySet,
+        guesses: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Solve the equilibrium system at every row of ``X`` in one batch.
+
+        Same contract as mapping :meth:`solve_point` over rows, but the
+        Newton iteration is vectorized across points so each residual
+        evaluation interpolates next period's policies at all active points
+        in one kernel call per shock state.  Rows the batched Newton cannot
+        converge fall back to the scalar :meth:`solve_point` (which retries
+        from the original guess and includes the scipy fallback), so the
+        result matches the sequential path to solver tolerance everywhere.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        m = X.shape[0]
+        savings_guess = self._savings_guess_batch(z, X, guesses)
+        log_guess = np.log(np.maximum(savings_guess, np.exp(_LOG_SAVINGS_FLOOR)))
+
+        def residual(rows: np.ndarray, log_savings: np.ndarray) -> np.ndarray:
+            savings = np.exp(np.clip(log_savings, _LOG_SAVINGS_FLOOR, 30.0))
+            return self.euler_residuals_batch(z, X[rows], savings, policy_next)
+
+        batch_solver = BatchNewtonSolver.from_scalar(self.solver)
+        result = batch_solver.solve(residual, log_guess)
+        savings = np.exp(np.clip(result.x, _LOG_SAVINGS_FLOOR, 30.0))
+
+        # stalled rows: scipy polish from the batch's best iterate, exactly
+        # what the scalar solver does after its own Newton stalls
+        if self.solver.use_scipy_fallback:
+            for row in np.flatnonzero(~result.converged):
+                x = X[row]
+
+                def res1(log_savings: np.ndarray) -> np.ndarray:
+                    sav = np.exp(np.clip(log_savings, _LOG_SAVINGS_FLOOR, 30.0))
+                    return self.euler_residuals(z, x, sav, policy_next)
+
+                polished = self.solver._scipy_solve(
+                    res1, result.x[row], 0, 0, float(result.residual_norm[row])
+                )
+                savings[row] = np.exp(np.clip(polished.x, _LOG_SAVINGS_FLOOR, 30.0))
+        values = self.value_functions_batch(z, X, savings, policy_next)
+        out = np.empty((m, self.num_policies), dtype=float)
+        out[:, : self.num_savers] = savings
+        out[:, self.num_savers :] = values
+        return out
+
+    @classmethod
+    def stacked_group(cls, models: list["OLGModel"], counts: list[int]):
+        """Cross-scenario stacked point solver for topology-sharing models.
+
+        Returns a :class:`repro.olg.stacked.StackedOLGGroup`; raises
+        :class:`repro.olg.stacked.StructuralMismatch` (a ``ValueError``)
+        when the models differ structurally, in which case callers fall
+        back to per-scenario solves.
+        """
+        from repro.olg.stacked import StackedOLGGroup
+
+        return StackedOLGGroup(models, counts)
 
     def initial_policy_values(self, z: int, X: np.ndarray) -> np.ndarray:
         """Initial guess anchored on the deterministic steady-state lifecycle.

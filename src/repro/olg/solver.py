@@ -17,7 +17,7 @@ from typing import Callable
 import numpy as np
 from scipy import optimize
 
-__all__ = ["PointSolveResult", "NewtonSolver"]
+__all__ = ["PointSolveResult", "NewtonSolver", "BatchSolveResult", "BatchNewtonSolver"]
 
 
 @dataclass
@@ -146,3 +146,133 @@ class NewtonSolver:
                 counter[0],
             )
         return PointSolveResult(x0, best_norm, False, iterations, counter[0])
+
+
+@dataclass
+class BatchSolveResult:
+    """Outcome of a batched nonlinear solve over ``m`` independent systems."""
+
+    x: np.ndarray              # (m, n) best iterate per system
+    residual_norm: np.ndarray  # (m,) residual infinity norm at ``x``
+    converged: np.ndarray      # (m,) bool
+    iterations: int
+    residual_evaluations: int  # vectorized residual calls, not per-row calls
+
+
+class BatchNewtonSolver:
+    """Damped Newton over a batch of independent small systems.
+
+    Runs the same algorithm as :class:`NewtonSolver` — forward-difference
+    Jacobian, capped step, 12-step backtracking line search on the residual
+    infinity norm — but row-masked over ``m`` systems at once, so every
+    residual evaluation is ONE vectorized call over all still-active rows
+    instead of ``m`` scalar calls.  Rows whose line search stalls are
+    deactivated and reported unconverged (callers fall back to the scalar
+    solver, which retries from scratch and includes the scipy fallback).
+
+    The residual callback receives ``(rows, X)`` where ``rows`` indexes the
+    original batch (so the callback can look up per-row problem data) and
+    ``X`` holds the candidate unknowns for exactly those rows.
+    """
+
+    def __init__(
+        self,
+        tol: float = 1e-8,
+        max_iterations: int = 40,
+        fd_step: float = 1e-7,
+        max_step: float = 5.0,
+    ) -> None:
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        self.tol = tol
+        self.max_iterations = max_iterations
+        self.fd_step = fd_step
+        self.max_step = max_step
+
+    @classmethod
+    def from_scalar(cls, solver: NewtonSolver) -> "BatchNewtonSolver":
+        """Mirror a scalar solver's tolerances so both paths agree."""
+        return cls(
+            tol=solver.tol,
+            max_iterations=solver.max_iterations,
+            fd_step=solver.fd_step,
+            max_step=solver.max_step,
+        )
+
+    def solve(self, fn: Callable, x0: np.ndarray) -> BatchSolveResult:
+        """Solve ``fn(rows, X) = 0`` row-wise starting from ``x0`` (m, n)."""
+        X = np.array(x0, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("x0 must be (m, n)")
+        m, n = X.shape
+        F = np.asarray(fn(np.arange(m), X), dtype=float).reshape(m, n)
+        evals = 1
+        norms = np.max(np.abs(F), axis=1)
+        best_x, best_norm = X.copy(), norms.copy()
+        active = norms >= self.tol
+        iterations = 0
+        while iterations < self.max_iterations and active.any():
+            iterations += 1
+            idx = np.flatnonzero(active)
+            Xa, Fa = X[idx], F[idx]
+            # forward-difference Jacobian, one vectorized call per column
+            jac = np.empty((idx.size, n, n), dtype=float)
+            steps = self.fd_step * np.maximum(np.abs(Xa), 1.0)
+            for j in range(n):
+                Xp = Xa.copy()
+                Xp[:, j] += steps[:, j]
+                Fp = np.asarray(fn(idx, Xp), dtype=float).reshape(idx.size, n)
+                evals += 1
+                jac[:, :, j] = (Fp - Fa) / steps[:, j][:, None]
+            try:
+                step = np.linalg.solve(jac, -Fa[:, :, None])[:, :, 0]
+            except np.linalg.LinAlgError:
+                step = np.empty_like(Fa)
+                for r in range(idx.size):
+                    try:
+                        step[r] = np.linalg.solve(jac[r], -Fa[r])
+                    except np.linalg.LinAlgError:
+                        step[r], *_ = np.linalg.lstsq(jac[r], -Fa[r], rcond=None)
+            step_norm = np.max(np.abs(step), axis=1)
+            too_big = step_norm > self.max_step
+            if too_big.any():
+                step[too_big] *= (self.max_step / step_norm[too_big])[:, None]
+            # backtracking line search, all pending rows per halving
+            lam = np.ones(idx.size)
+            pending = np.ones(idx.size, dtype=bool)
+            accepted = np.zeros(idx.size, dtype=bool)
+            norm_a = norms[idx]
+            for _ in range(12):
+                p = np.flatnonzero(pending)
+                if p.size == 0:
+                    break
+                trial = Xa[p] + lam[p, None] * step[p]
+                f_trial = np.asarray(fn(idx[p], trial), dtype=float).reshape(p.size, n)
+                evals += 1
+                trial_norm = np.max(np.abs(f_trial), axis=1)
+                good = trial_norm < norm_a[p]
+                gp = p[good]
+                if gp.size:
+                    rows = idx[gp]
+                    X[rows] = trial[good]
+                    F[rows] = f_trial[good]
+                    norms[rows] = trial_norm[good]
+                    accepted[gp] = True
+                    pending[gp] = False
+                lam[p[~good]] *= 0.5
+            better = norms < best_norm
+            if better.any():
+                best_x[better] = X[better]
+                best_norm[better] = norms[better]
+            # stalled rows exit (scalar path breaks there too); improved rows
+            # stay active until their residual drops below tolerance
+            active[idx[~accepted]] = False
+            improved = idx[accepted]
+            active[improved] = norms[improved] >= self.tol
+        return BatchSolveResult(
+            x=best_x,
+            residual_norm=best_norm,
+            converged=best_norm < self.tol,
+            iterations=iterations,
+            residual_evaluations=evals,
+        )

@@ -85,6 +85,11 @@ Checkpointing a standalone solve::
 See ``examples/scenario_sweep.py`` for an end-to-end walk-through.
 """
 
+from repro.scenarios.batching import (
+    partition_by_topology,
+    solve_batch_and_commit,
+    topology_signature,
+)
 from repro.scenarios.backends import (
     BACKEND_SCHEMES,
     FakeObjectServer,
@@ -169,6 +174,9 @@ __all__ = [
     "run_suite",
     "solve_and_commit",
     "schedule_longest_first",
+    "topology_signature",
+    "partition_by_topology",
+    "solve_batch_and_commit",
     "DEFAULT_TTL",
     "DEFAULT_MAX_ATTEMPTS",
     "Lease",

@@ -129,6 +129,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="testing hook: kill each solve after N iterations (checkpoint survives; "
         "re-running the same command resumes)",
     )
+    run.add_argument(
+        "--batch",
+        action="store_true",
+        help="batch solve scenarios sharing a grid topology through the "
+        "multi-scenario time-iteration driver (results match sequential "
+        "solves to solver tolerance; checkpoints/entries are unchanged)",
+    )
 
     show = sub.add_parser("show", help="print a store's committed entries")
     show.add_argument("--store", default=_default_store(), help=_STORE_HELP)
@@ -229,6 +236,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--retry-parked",
         action="store_true",
         help="clear parked/attempt records for this suite before starting",
+    )
+    work.add_argument(
+        "--batch",
+        action="store_true",
+        help="claim and solve whole grid-topology groups through the batched "
+        "multi-scenario driver (one lease/heartbeat/checkpoint per member)",
     )
 
     status = sub.add_parser(
@@ -358,6 +371,7 @@ def _cmd_work(args) -> int:
         point_workers=args.point_workers,
         max_claims=args.max_claims,
         retry_parked=args.retry_parked,
+        batch_topology=args.batch,
         progress=print,
     )
     print(report.summary())
@@ -518,6 +532,7 @@ def _dispatch(args) -> int:
             schedule=args.schedule,
             keep_last_n=args.keep_last_n,
             keep_on_failure=args.keep_on_failure,
+            batch_topology=args.batch,
             progress=print,
         )
     except ValueError as exc:

@@ -514,6 +514,7 @@ def run_worker(
     max_claims: int | None = None,
     retry_parked: bool = False,
     backoff_base: float = 0.5,
+    batch_topology: bool = False,
     events: EventRecorder | None = None,
     clock=time.time,
     sleep=time.sleep,
@@ -533,6 +534,15 @@ def run_worker(
     solve's checkpoint hook.  Scenarios held by live peers are revisited
     every ``poll`` seconds until the suite is fully drained (every
     scenario completed or parked), then the worker exits.
+
+    With ``batch_topology`` (opt-in, off by default) the worker claims a
+    whole grid-topology group per pass — one lease and one heartbeat per
+    member, exactly as if claimed individually — and solves the claimed
+    members through the batched multi-scenario driver
+    (:func:`repro.scenarios.batching.solve_batch_and_commit`).  Each
+    member's entry is still committed (and its lease released) the moment
+    that member finishes; a member whose lease is lost mid-batch is
+    abandoned uncommitted while the rest keep solving.
 
     ``clock``/``sleep``/``rng`` are injectable for the deterministic
     fault-injection tests; real fleets keep the defaults.
@@ -575,6 +585,7 @@ def run_worker(
             point_workers=point_workers,
             max_claims=max_claims,
             backoff_base=backoff_base,
+            batch_topology=batch_topology,
             sleep=sleep,
             rng=rng,
         )
@@ -603,6 +614,7 @@ def _drain(
     point_workers,
     max_claims,
     backoff_base,
+    batch_topology=False,
     sleep,
     rng,
 ) -> WorkReport:
@@ -633,6 +645,29 @@ def _drain(
 
         pending = schedule_longest_first(pending, store.wall_times())
         claimed_any = False
+        if batch_topology and len(pending) > 1:
+            from repro.scenarios.batching import partition_by_topology
+
+            groups, pending = partition_by_topology(pending)
+            for group in groups:
+                if max_claims is not None and report.claims >= max_claims:
+                    say(f"worker {worker_id}: claim budget ({max_claims}) spent")
+                    return report
+                progressed = _work_group(
+                    group=group,
+                    store=store,
+                    manager=manager,
+                    report=report,
+                    events=events,
+                    worker_id=worker_id,
+                    say=say,
+                    done=done,
+                    heartbeat_interval=heartbeat_interval,
+                    max_attempts=max_attempts,
+                    checkpoint_every=checkpoint_every,
+                    max_claims=max_claims,
+                )
+                claimed_any = claimed_any or progressed
         for spec in pending:
             if max_claims is not None and report.claims >= max_claims:
                 say(f"worker {worker_id}: claim budget ({max_claims}) spent")
@@ -719,3 +754,112 @@ def _drain(
             # have not expired yet); wait out a poll interval and rescan
             sleep(max(poll, 0.01))
     return report
+
+
+def _work_group(
+    *,
+    group,
+    store,
+    manager,
+    report,
+    events,
+    worker_id,
+    say,
+    done,
+    heartbeat_interval,
+    max_attempts,
+    checkpoint_every,
+    max_claims,
+) -> bool:
+    """Claim and batch-solve one topology group; returns whether we progressed.
+
+    Every member gets its own lease and :class:`LeaseHeartbeat`, exactly as
+    if claimed individually; members a peer validly holds are simply left
+    out of the batch.  Entries are committed per member inside
+    :func:`~repro.scenarios.batching.solve_batch_and_commit` the moment
+    each member finishes; the commit-then-release ordering per member is
+    preserved (the entry lands before this loop releases its lease).
+    """
+    from repro.scenarios.batching import solve_batch_and_commit
+
+    claimed = []
+    heartbeats = []
+    progressed = False
+    for spec in group:
+        scenario = store.scenario_key(spec)
+        if store.entry_is_complete(store.entry(scenario)):
+            if manager.heal_completed(scenario):
+                report.healed += 1
+            report.already_done.append(scenario)
+            done.add(scenario)
+            progressed = True
+            continue
+        if max_claims is not None and report.claims >= max_claims:
+            break
+        lease = manager.try_claim(spec)
+        if lease is None:
+            continue  # validly held by a peer, or we lost the put race
+        report.claims += 1
+        progressed = True
+        stolen = lease.epoch > 1
+        if stolen:
+            report.steals += 1
+        say(
+            f"{'steal' if stolen else 'claim'} {spec.name} "
+            f"[{scenario}] epoch={lease.epoch} (batched)"
+        )
+        heartbeats.append(LeaseHeartbeat(manager, lease, interval=heartbeat_interval).start())
+        claimed.append(spec)
+    if not claimed:
+        return progressed
+    try:
+        entries = solve_batch_and_commit(
+            claimed,
+            store,
+            checkpoint_every=checkpoint_every,
+            aborts=[hb.abort_requested for hb in heartbeats],
+            events=events,
+            worker_id=worker_id,
+        )
+    except BaseException:
+        # InjectedCrash / KeyboardInterrupt: die like kill -9 would — stop
+        # renewing but leave every lease and checkpoint for peers to steal
+        for hb in heartbeats:
+            hb.stop()
+        raise
+    for spec, hb, entry in zip(claimed, heartbeats, entries):
+        hb.stop()
+        scenario = store.scenario_key(spec)
+        if entry is None:
+            # lease lost mid-batch: nothing committed, the thief owns it
+            report.abandoned += 1
+            events.emit("abandoned", worker_id, scenario, reason="lease lost mid-batch")
+            say(f"abandon {spec.name} [{scenario}] (batch member)")
+            continue
+        if entry["status"] == "completed":
+            events.emit(
+                "committed",
+                worker_id,
+                scenario,
+                wall_time=entry.get("wall_time", 0.0),
+                resumed=bool(entry.get("resumed", False)),
+            )
+            manager.clear_attempts(scenario)
+            manager.release(hb.lease)
+            report.completed.append(scenario)
+            done.add(scenario)
+            say(f"done  {spec.name} [{scenario}] ({entry.get('wall_time', 0.0):.2f}s)")
+        else:
+            count = manager.record_failure(scenario, entry.get("error", entry["status"]))
+            if count >= max_attempts:
+                manager.park(scenario, attempts=count, error=entry.get("error", ""))
+                report.parked.append(scenario)
+                done.add(scenario)
+                say(f"park  {spec.name} [{scenario}] after {count} attempt(s)")
+            else:
+                events.emit("retry", worker_id, scenario, attempt=count)
+                say(f"retry {spec.name} [{scenario}] (attempt {count}/{max_attempts})")
+            # failed entry is committed; release so a peer (or this worker's
+            # next pass) can retry without waiting out the TTL
+            manager.release(hb.lease)
+    return progressed

@@ -283,6 +283,46 @@ def _execute_task(task: dict) -> dict:
         sink.flush()
 
 
+def _execute_batch_task(task: dict) -> list:
+    """Run one topology group through the batched solver; returns entries.
+
+    The batched counterpart of :func:`_execute_task` (same pickle-friendly
+    task-dict shape, ``"batch"`` holding the member spec dicts): every
+    member's entry is committed individually inside
+    :func:`repro.scenarios.batching.solve_batch_and_commit`, so partial
+    progress is durable even if the parent dies at the batch barrier.
+    """
+    from repro.parallel.tracing import EventRecorder
+    from repro.scenarios.batching import solve_batch_and_commit
+    from repro.scenarios.store import StoreEventSink
+
+    specs = [ScenarioSpec.from_dict(data) for data in task["batch"]]
+    store = ResultsStore.open(task["store_url"])
+    host = platform.node().split(".")[0].replace("/", "-") or "host"
+    worker_id = f"runner-{host}-{os.getpid()}"
+    events = EventRecorder()
+    sink = StoreEventSink(store, worker_id)
+    events.subscribe(sink)
+    try:
+        return solve_batch_and_commit(
+            specs,
+            store,
+            checkpoint_every=int(task.get("checkpoint_every", 1)),
+            interrupt_after=task.get("interrupt_after"),
+            events=events,
+            worker_id=worker_id,
+        )
+    finally:
+        sink.flush()
+
+
+def _execute_any_task(task: dict) -> list:
+    """Uniform executor entry point: always returns a list of entries."""
+    if "batch" in task:
+        return _execute_batch_task(task)
+    return [_execute_task(task)]
+
+
 def _execute_solve(
     spec: ScenarioSpec,
     store: ResultsStore,
@@ -341,6 +381,7 @@ def run_suite(
     schedule: str = "longest-first",
     keep_last_n: int | None = None,
     keep_on_failure: bool = True,
+    batch_topology: bool = False,
     progress=None,
 ) -> SuiteReport:
     """Run every scenario of ``suite`` whose hash is not in ``store`` yet.
@@ -373,6 +414,14 @@ def run_suite(
         Checkpoint GC policy applied after the batch (see
         :meth:`~repro.scenarios.store.ResultsStore.gc_checkpoints`).  The
         defaults keep every resumable checkpoint.
+    batch_topology
+        Opt-in: group pending solve scenarios that share a grid topology
+        (see :func:`repro.scenarios.batching.partition_by_topology`) and
+        run each group through the batched multi-scenario solver — one
+        shared grid, per-member convergence masking — instead of one
+        solve per task.  Checkpoints, telemetry events and per-hash entry
+        commits are unchanged; results match sequential solves to solver
+        tolerance (not bit-exactly).  Off by default.
     progress
         Optional ``callable(str)`` receiving one line per scenario.
     """
@@ -421,8 +470,8 @@ def run_suite(
                 "schedule is approximate",
                 executor,
             )
-    tasks = [
-        {
+    def _single_task(spec: ScenarioSpec) -> dict:
+        return {
             "spec": spec.to_dict(),
             "store_url": store.url,
             "checkpoint_every": int(checkpoint_every),
@@ -430,9 +479,46 @@ def run_suite(
             "point_workers": int(point_workers),
             "interrupt_after": interrupt_after,
         }
-        for spec in pending
+
+    tasks = []
+    task_specs: list = []  # one spec list per task, aligned with `tasks`
+    if batch_topology and len(pending) > 1:
+        from repro.scenarios.batching import partition_by_topology
+
+        groups, singles = partition_by_topology(pending)
+        for group in groups:
+            tasks.append(
+                {
+                    "batch": [spec.to_dict() for spec in group],
+                    "store_url": store.url,
+                    "checkpoint_every": int(checkpoint_every),
+                    "interrupt_after": interrupt_after,
+                }
+            )
+            task_specs.append(list(group))
+        for spec in singles:
+            tasks.append(_single_task(spec))
+            task_specs.append([spec])
+    else:
+        for spec in pending:
+            tasks.append(_single_task(spec))
+            task_specs.append([spec])
+    nested = mapper.map(_execute_any_task, tasks) if tasks else []
+    # flatten batch results back to one (spec, entry) stream; an abandoned
+    # batch member (None entry) committed nothing — report it as failed
+    pending = [spec for specs in task_specs for spec in specs]
+    entries = [
+        entry
+        if entry is not None
+        else {
+            "spec_hash": spec.content_hash(),
+            "status": "failed",
+            "wall_time": 0.0,
+            "error": "abandoned without committing",
+        }
+        for specs, batch in zip(task_specs, nested)
+        for spec, entry in zip(specs, batch)
     ]
-    entries = mapper.map(_execute_task, tasks) if tasks else []
     # workers committed their own entries; the parent only reports and GCs
     committed = {entry["spec_hash"]: entry for entry in entries}
     for spec, entry in zip(pending, entries):

@@ -1,0 +1,265 @@
+"""Batched multi-scenario time iteration.
+
+Covers the four contracts of the batched solve path:
+
+* tolerance-equivalence — batched sweeps land on the same fixed points as
+  per-scenario sequential solves (to solver tolerance, not bit-exactness);
+* convergence masking — members drop out of the batch individually, each
+  with its own iteration history;
+* fallback — members the driver cannot batch (divergence, topology
+  mismatch, adaptivity) are solved on the sequential path, bit-exact with
+  today's behavior;
+* scenario-layer integration — topology partitioning, batch-aware
+  ``run_suite`` dispatch, and kill/resume leaving per-member checkpoints
+  the next run resumes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedTimeIterationSolver, BatchMember, batch_topology
+from repro.core.time_iteration import TimeIterationSolver
+from repro.scenarios import (
+    ResultsStore,
+    ScenarioSpec,
+    ScenarioSuite,
+    partition_by_topology,
+    run_suite,
+    solve_batch_and_commit,
+    topology_signature,
+)
+
+TOL = 1e-3
+
+
+def _solve_spec(
+    name: str,
+    *,
+    grid_level: int = 2,
+    max_iterations: int = 12,
+    tolerance: float = TOL,
+    **calibration,
+):
+    cal = {"num_generations": 4, "num_states": 1, "beta": 0.8}
+    cal.update(calibration)
+    return ScenarioSpec(
+        name,
+        calibration=cal,
+        solver={
+            "grid_level": grid_level,
+            "tolerance": tolerance,
+            "max_iterations": max_iterations,
+        },
+    )
+
+
+def _member(spec: ScenarioSpec, **kwargs) -> BatchMember:
+    return BatchMember(
+        key=spec.name, model=spec.build_model(), config=spec.build_config(), **kwargs
+    )
+
+
+def _policy_diff(a, b) -> float:
+    diff = 0.0
+    for z in range(len(a.policy)):
+        pa = a.policy[z]
+        X = pa.interpolant.domain.from_unit(pa.grid.points)
+        diff = max(diff, float(np.max(np.abs(pa(X) - b.policy[z](X)))))
+    return diff
+
+
+class TestToleranceEquivalence:
+    @pytest.mark.parametrize(
+        "axis,values",
+        [("tau_labor", [0.05, 0.1, 0.2]), ("beta", [0.76, 0.8, 0.82])],
+        ids=["tau-sweep", "beta-sweep"],
+    )
+    def test_batched_sweep_matches_sequential(self, axis, values):
+        specs = [_solve_spec(f"eq-{v}", **{axis: v}) for v in values]
+        sequential = [
+            TimeIterationSolver(s.build_model(), s.build_config()).solve() for s in specs
+        ]
+        outcomes = BatchedTimeIterationSolver([_member(s) for s in specs]).solve()
+        for spec, seq in zip(specs, sequential):
+            out = outcomes[spec.name]
+            assert not out.fallback, out.fallback_reason
+            assert out.result.converged and seq.converged
+            assert _policy_diff(seq, out.result) < TOL
+
+    def test_single_member_batch(self):
+        spec = _solve_spec("solo")
+        outcomes = BatchedTimeIterationSolver([_member(spec)]).solve()
+        out = outcomes["solo"]
+        assert not out.fallback and out.result.converged
+        seq = TimeIterationSolver(spec.build_model(), spec.build_config()).solve()
+        assert _policy_diff(seq, out.result) < TOL
+
+
+class TestConvergenceMasking:
+    def test_members_drop_out_at_their_own_iteration(self):
+        # a looser per-member tolerance converges in fewer passes; each
+        # member's record history must stop at its own convergence, not
+        # the batch's (tolerance is per member, not part of the topology)
+        specs = [_solve_spec("fast", tolerance=3e-2), _solve_spec("slow")]
+        outcomes = BatchedTimeIterationSolver([_member(s) for s in specs]).solve()
+        fast, slow = outcomes["fast"].result, outcomes["slow"].result
+        assert fast.converged and slow.converged
+        assert fast.iterations < slow.iterations
+        assert [r.iteration for r in fast.records] == list(range(1, fast.iterations + 1))
+
+    def test_capped_member_leaves_batch_while_others_continue(self):
+        specs = [_solve_spec("capped", max_iterations=3), _solve_spec("full")]
+        outcomes = BatchedTimeIterationSolver([_member(s) for s in specs]).solve()
+        capped, full = outcomes["capped"].result, outcomes["full"].result
+        assert not capped.converged and capped.iterations == 3
+        assert full.converged and full.iterations > 3
+        assert not outcomes["capped"].fallback  # a cap is completion, not fallback
+
+    def test_per_member_records_carry_batch_wall_time_sections(self):
+        specs = [_solve_spec("a", tau_labor=0.1), _solve_spec("b", tau_labor=0.2)]
+        outcomes = BatchedTimeIterationSolver([_member(s) for s in specs]).solve()
+        for key in ("a", "b"):
+            for record in outcomes[key].result.records:
+                assert record.wall_time > 0
+                assert set(record.sections) == {"solve", "fit"}
+
+
+class TestFallback:
+    def test_divergence_falls_back_bit_exact(self):
+        # poison the batched point solve (only the batched driver uses
+        # solve_points_batch; the sequential path solves row by row), so
+        # the first pass goes non-finite and the member must fall back
+        spec = _solve_spec("diverge")
+        model = spec.build_model()
+        real = model.solve_points_batch
+        calls = []
+
+        def poisoned(z, X, policy, guesses=None):
+            out = np.array(real(z, X, policy, guesses), dtype=float)
+            if not calls:
+                calls.append(1)
+                out[0] = np.nan
+            return out
+
+        model.solve_points_batch = poisoned
+        outcomes = BatchedTimeIterationSolver(
+            [BatchMember(key="diverge", model=model, config=spec.build_config())]
+        ).solve()
+        out = outcomes["diverge"]
+        assert out.fallback and out.fallback_reason == "non-finite iterate"
+        # the fallback is today's sequential path, bit for bit
+        seq = TimeIterationSolver(spec.build_model(), spec.build_config()).solve()
+        assert out.result.converged and out.result.iterations == seq.iterations
+        for z in range(len(seq.policy)):
+            assert np.array_equal(
+                out.result.policy[z].interpolant.surplus, seq.policy[z].interpolant.surplus
+            )
+
+    def test_topology_minority_falls_back_bit_exact(self):
+        specs = [
+            _solve_spec("l2-a", tau_labor=0.1),
+            _solve_spec("l2-b", tau_labor=0.2),
+            _solve_spec("l3", grid_level=3, max_iterations=4),
+        ]
+        outcomes = BatchedTimeIterationSolver([_member(s) for s in specs]).solve()
+        assert not outcomes["l2-a"].fallback and not outcomes["l2-b"].fallback
+        out = outcomes["l3"]
+        assert out.fallback and out.fallback_reason == "topology mismatch"
+        seq = TimeIterationSolver(specs[2].build_model(), specs[2].build_config()).solve()
+        for z in range(len(seq.policy)):
+            assert np.array_equal(
+                out.result.policy[z].interpolant.surplus, seq.policy[z].interpolant.surplus
+            )
+
+    def test_adaptive_member_falls_back(self):
+        spec = _solve_spec("ada", max_iterations=1)
+        spec.solver.update(adaptive=True, max_refine_level=2, max_points_per_state=50)
+        outcomes = BatchedTimeIterationSolver([_member(spec)]).solve()
+        out = outcomes["ada"]
+        assert out.fallback and out.fallback_reason == "adaptive refinement"
+        assert out.result is not None
+
+
+class TestTopologyPartitioning:
+    def test_signature_matches_core(self):
+        spec = _solve_spec("sig")
+        assert topology_signature(spec) == batch_topology(spec.build_model(), spec.build_config())
+
+    def test_unbatchable_specs_have_no_signature(self):
+        adaptive = _solve_spec("ada")
+        adaptive.solver["adaptive"] = True
+        assert topology_signature(adaptive) is None
+        experiment = ScenarioSpec("exp", kind="fig7", params={"dim": 2})
+        assert topology_signature(experiment) is None
+
+    def test_partition_groups_and_singles(self):
+        a1, a2 = _solve_spec("a1", tau_labor=0.1), _solve_spec("a2", tau_labor=0.2)
+        lone = _solve_spec("lone", grid_level=3)
+        experiment = ScenarioSpec("exp", kind="fig7", params={"dim": 2})
+        groups, singles = partition_by_topology([a1, experiment, a2, lone])
+        assert groups == [[a1, a2]]  # suite order preserved within the group
+        assert singles == [experiment, lone]
+
+    def test_all_batchable_one_group(self):
+        specs = [_solve_spec(f"s{i}", tau_labor=0.05 * (i + 1)) for i in range(3)]
+        groups, singles = partition_by_topology(specs)
+        assert groups == [specs] and singles == []
+
+
+class TestScenarioLayer:
+    def _sweep(self, name="batched-sweep"):
+        base = _solve_spec("member")
+        return ScenarioSuite.cartesian(
+            name, base, {"calibration.tau_labor": [0.1, 0.15, 0.2]}
+        )
+
+    def test_run_suite_batched_matches_sequential_store(self, env_store_url):
+        suite = self._sweep()
+        batched = ResultsStore.open(env_store_url("batched"))
+        sequential = ResultsStore.open(env_store_url("sequential"))
+        report = run_suite(suite, batched, batch_topology=True)
+        assert report.ok and report.count("completed") == len(suite)
+        run_suite(suite, sequential)
+        for spec in suite:
+            entry = batched.entry(spec)
+            assert entry["status"] == "completed" and entry["converged"]
+            a = batched.load_result(spec)
+            b = sequential.load_result(spec)
+            assert _policy_diff(a, b) < TOL
+
+    def test_kill_leaves_per_member_checkpoints_then_resumes(self, env_store_url):
+        suite = self._sweep("kill-resume")
+        store = ResultsStore.open(env_store_url("store"))
+        entries = solve_batch_and_commit(list(suite), store, interrupt_after=2)
+        assert all(e["status"] == "interrupted" for e in entries)
+        for spec in suite:
+            assert store.checkpoint_ref(spec).exists(), spec.name
+        # the identical re-invocation resumes every member from its own
+        # checkpoint and completes the batch
+        entries = solve_batch_and_commit(list(suite), store)
+        reference = ResultsStore.open(env_store_url("reference"))
+        run_suite(suite, reference)
+        for spec, entry in zip(suite, entries):
+            assert entry["status"] == "completed" and entry["resumed"]
+            assert not store.checkpoint_ref(spec).exists()  # cleaned up
+            assert _policy_diff(store.load_result(spec), reference.load_result(spec)) < TOL
+
+    def test_batched_entries_commit_individually(self, env_store_url):
+        # a member hitting its iteration cap gets the same entry shape a
+        # sequential solve would (completed, converged=False) while the
+        # other members' converged entries land independently
+        specs = [
+            _solve_spec("good-1", tau_labor=0.1),
+            _solve_spec("capped", tau_labor=0.15, max_iterations=2),
+            _solve_spec("good-2", tau_labor=0.2),
+        ]
+        store = ResultsStore.open(env_store_url("store"))
+        entries = solve_batch_and_commit(specs, store)
+        by_name = {spec.name: e for spec, e in zip(specs, entries)}
+        assert by_name["good-1"]["status"] == "completed" and by_name["good-1"]["converged"]
+        assert by_name["good-2"]["status"] == "completed" and by_name["good-2"]["converged"]
+        capped = by_name["capped"]
+        assert capped["status"] == "completed"
+        assert not capped["converged"] and capped["iterations"] == 2
