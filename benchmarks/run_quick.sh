@@ -103,6 +103,27 @@ assert all(store.has(s) for s in suite)
 print(f"compaction smoke OK on {store.url}: one snapshot answers index/show/diff")
 EOF
 
+# --- store-query smoke ----------------------------------------------------- #
+# The compacted sweep above also folded the queryable secondary index;
+# a calibration-field predicate over the CLI must answer out of that
+# sidecar.  The smoke preset's two scenarios differ only in tau_labor
+# (0.10 vs 0.20), so tau_labor>0.15 selects exactly the high-tax one.
+python -m repro.scenarios query --store "$S3_STORE" \
+    --where "tau_labor>0.15" --status completed
+python -m repro.scenarios query --store "$S3_STORE" \
+    --where "tau_labor>0.15" --status completed --json > "$SCRATCH/query.json"
+QUERY_JSON="$SCRATCH/query.json" python - <<'EOF'
+import json, os
+
+matches = json.load(open(os.environ["QUERY_JSON"]))
+assert len(matches) == 1, f"expected exactly 1 high-tax match, got {len(matches)}"
+record = matches[0]
+assert record["status"] == "completed", record
+assert record["calibration.tau_labor"] > 0.15, record
+print(f"store-query smoke OK: tau_labor>0.15 matched {record['name']} "
+      "out of the folded index")
+EOF
+
 # --- worker-fleet stress: lease-coordinated drain with a SIGKILL --------- #
 # One worker starts draining the 8-scenario fleet suite and is SIGKILLed
 # mid-solve (lease + checkpoint left behind); two late-joining workers

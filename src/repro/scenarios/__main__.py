@@ -11,6 +11,10 @@ Installed as the ``repro-scenarios`` console script and runnable as
   policy-surplus and aggregate differences (``--json`` for machines;
   ``--store-b`` resolves the second hash in a different store, possibly
   on a different backend);
+* ``query``  — filter the store's queryable secondary index with field
+  predicates (``--where tau_labor>0.25 --status completed --json``);
+  served from the compaction-time ``index-snapshots/`` sidecar plus the
+  un-folded log tail, so no per-entry objects are opened;
 * ``resume`` — list the resumable checkpoints sitting in a store;
 * ``compact`` — fold the store's commit log into one immutable snapshot
   checkpoint object, so ``index()``/``show`` on long-lived object-store
@@ -49,7 +53,7 @@ from repro.scenarios.diff import diff_entries, format_diff
 from repro.scenarios.lease import DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL, run_worker
 from repro.scenarios.runner import SCHEDULE_KINDS, run_suite
 from repro.scenarios.spec import get_preset, preset_names
-from repro.scenarios.store import ResultsStore
+from repro.scenarios.store import ResultsStore, _resolve_predicate_field, parse_predicate
 
 __all__ = ["main"]
 
@@ -160,6 +164,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=64,
         help="state-space sample points for the policy comparison",
     )
+
+    query = sub.add_parser(
+        "query",
+        help="filter the store's secondary index with field predicates "
+        "(no per-entry reads on a compacted store)",
+    )
+    query.add_argument("--store", default=_default_store(), help=_STORE_HELP)
+    query.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="FIELD<OP>VALUE",
+        help="predicate like tau_labor>0.25, solver.grid_level=3 or "
+        "converged=true; operators: <=, >=, !=, ==, <, >, = ; repeatable "
+        "(conjunction)",
+    )
+    query.add_argument(
+        "--status",
+        default=None,
+        help="only entries with this status (completed/failed/interrupted)",
+    )
+    query.add_argument(
+        "--hash-prefix",
+        default=None,
+        metavar="PREFIX",
+        help="only entries whose spec hash starts with PREFIX",
+    )
+    query.add_argument("--json", action="store_true", help="emit matching records as JSON")
 
     resume = sub.add_parser("resume", help="list resumable checkpoints in a store")
     resume.add_argument("--store", default=_default_store(), help=_STORE_HELP)
@@ -330,6 +362,45 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    store = ResultsStore(args.store)
+    try:
+        records = store.query(
+            where=args.where, status=args.status, hash_prefix=args.hash_prefix
+        )
+    except ValueError as exc:
+        # a malformed/ambiguous predicate is a usage error, not a crash
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"store {store.url}: no matching entries")
+        return 0
+    print(f"store {store.url}: {len(records)} matching entry(ies)")
+    print(f"  {'name':<32} {'hash':<12} {'status':<11} {'wall [s]':>9}  matched fields")
+    shown = []
+    for clause in args.where:
+        field = parse_predicate(clause)[0]
+        if field not in shown:
+            shown.append(field)
+    for rec in records:
+        fields = ", ".join(
+            f"{f}={rec[k]}"
+            for f in shown
+            if (k := _resolve_predicate_field(rec, f)) is not None
+        )
+        wall = rec.get("wall_time")
+        print(
+            f"  {rec.get('name', '?'):<32} {(rec.get('spec_hash') or '?')[:12]:<12} "
+            f"{rec.get('status', '?'):<11} "
+            f"{(float(wall) if isinstance(wall, (int, float)) else float('nan')):>9.2f}  "
+            f"{fields}"
+        )
+    return 0
+
+
 def _cmd_resume(args) -> int:
     store = ResultsStore(args.store)
     infos = store.list_checkpoints(with_progress=True)
@@ -393,7 +464,9 @@ def _cmd_status(args) -> int:
     leases = store.leases()
     parked = store.parked()
     counts: dict = {}
-    for entry in store.index().values():
+    # thin index records (no entry.json reads) carry the status; a fleet
+    # status poll on a million-entry store stays O(snapshot + tail)
+    for entry in store.index_records(hydrate=False).values():
         status = entry.get("status", "unknown")
         counts[status] = counts.get(status, 0) + 1
     telemetry = progress_snapshot(store)
@@ -492,6 +565,9 @@ def _dispatch(args) -> int:
 
     if args.command == "diff":
         return _cmd_diff(args)
+
+    if args.command == "query":
+        return _cmd_query(args)
 
     if args.command == "resume":
         return _cmd_resume(args)

@@ -36,10 +36,12 @@ import urllib.parse
 from repro.scenarios.backends.base import (
     COMMIT_LOG_PREFIX,
     DEFAULT_COMPACT_GRACE,
+    INDEX_SNAPSHOT_PREFIX,
     SNAPSHOT_PREFIX,
     BlobRef,
     MergedCommitLog,
     StorageBackend,
+    load_index_union,
 )
 from repro.scenarios.backends.faults import (
     FaultInjectingBackend,
@@ -67,7 +69,9 @@ __all__ = [
     "MergedCommitLog",
     "COMMIT_LOG_PREFIX",
     "SNAPSHOT_PREFIX",
+    "INDEX_SNAPSHOT_PREFIX",
     "DEFAULT_COMPACT_GRACE",
+    "load_index_union",
     "LocalFSBackend",
     "MemoryBackend",
     "ObjectStoreBackend",

@@ -186,10 +186,11 @@ class FaultInjectingBackend(StorageBackend):
     def clear_commit_log(self) -> None:
         self.inner.clear_commit_log()
 
-    def compact(self, grace_seconds: float | None = None) -> dict:
-        if grace_seconds is None:
-            return self.inner.compact()
-        return self.inner.compact(grace_seconds=grace_seconds)
+    def compact(self, grace_seconds: float | None = None, index_builder=None) -> dict:
+        kwargs = {"index_builder": index_builder}
+        if grace_seconds is not None:
+            kwargs["grace_seconds"] = grace_seconds
+        return self.inner.compact(**kwargs)
 
     def commit_log_tail_count(self) -> int:
         return self.inner.commit_log_tail_count()

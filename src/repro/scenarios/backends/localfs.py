@@ -30,10 +30,12 @@ from pathlib import Path, PurePosixPath
 from repro.scenarios import serialize
 from repro.scenarios.backends.base import (
     DEFAULT_COMPACT_GRACE,
+    INDEX_SNAPSHOT_PREFIX,
     SNAPSHOT_PREFIX,
     StorageBackend,
     _aged_record_keys,
     _empty_compact_report,
+    _fold_index_sidecar,
     _fold_into_snapshot,
     _gc_superseded_snapshots,
     _seq_of,
@@ -215,7 +217,9 @@ class LocalFSBackend(StorageBackend):
         except FileNotFoundError:
             pass  # a racing compactor rotated first
 
-    def compact(self, grace_seconds: float = DEFAULT_COMPACT_GRACE) -> dict:
+    def compact(
+        self, grace_seconds: float = DEFAULT_COMPACT_GRACE, index_builder=None
+    ) -> dict:
         self._rotate_log()
         snaps = load_snapshots(self)
         folded = _union(snaps)
@@ -253,9 +257,14 @@ class LocalFSBackend(StorageBackend):
                 report["kept_for_grace"] += 1
             # else: straggler records present — the next fold absorbs them
         _gc_superseded_snapshots(self, snapshot_keys, snap_key, newest_aged, report)
+        _fold_index_sidecar(self, snap_key, merged, index_builder, newest_aged, report)
         return report
 
     def clear_commit_log(self) -> None:
         self.log_path.unlink(missing_ok=True)
-        for key in self.list(SEGMENT_PREFIX) + self.list(SNAPSHOT_PREFIX):
+        for key in (
+            self.list(SEGMENT_PREFIX)
+            + self.list(SNAPSHOT_PREFIX)
+            + self.list(INDEX_SNAPSHOT_PREFIX)
+        ):
             self.delete(key, missing_ok=True)

@@ -75,10 +75,15 @@ def _env_int(name: str, default: int) -> int:
     if not raw:
         return default
     try:
-        return max(0, int(raw))
+        value = int(raw)
     except ValueError:
         logger.warning("ignoring non-integer %s=%r (using %d)", name, raw, default)
         return default
+    if value < 0:
+        # previously clamped silently — a typo'd "-3" deserves one line
+        logger.warning("clamping negative %s=%r to 0", name, raw)
+        return 0
+    return value
 
 
 def _env_float(name: str, default: float) -> float:
@@ -86,10 +91,14 @@ def _env_float(name: str, default: float) -> float:
     if not raw:
         return default
     try:
-        return max(0.0, float(raw))
+        value = float(raw)
     except ValueError:
         logger.warning("ignoring non-number %s=%r (using %g)", name, raw, default)
         return default
+    if value < 0:
+        logger.warning("clamping negative %s=%r to 0", name, raw)
+        return 0.0
+    return value
 
 
 def is_transient(exc: BaseException) -> bool:

@@ -114,6 +114,18 @@ def _policy_diff(
         }
         if same_grid and sa.shape == sb.shape:
             state_diff["surplus_delta_linf"] = float(np.max(np.abs(sa - sb)))
+        else:
+            # e.g. different solver.grid_level: the surplus vectors live on
+            # different grids and elementwise subtraction would be a raw
+            # broadcast error — degrade to the common state-space sample
+            # comparison above and say so, explicitly, in the JSON
+            state_diff["surplus_delta_linf"] = None
+            state_diff["surplus_note"] = (
+                f"grids differ ({int(policies_a[z].num_points)} vs "
+                f"{int(policies_b[z].num_points)} points); surplus vectors are "
+                "not comparable elementwise — see the common-sample policy "
+                "diff instead"
+            )
         per_state.append(state_diff)
     return {
         "samples": int(np.asarray(X).shape[0]),
@@ -230,8 +242,8 @@ def format_diff(diff: dict) -> str:
         for s in policy["per_state"]:
             surplus = (
                 f", surplus delta Linf {s['surplus_delta_linf']:.6g}"
-                if "surplus_delta_linf" in s
-                else f", grids differ ({s['points']['a']} vs {s['points']['b']} points)"
+                if s.get("surplus_delta_linf") is not None
+                else f", {s.get('surplus_note', 'surplus delta n/a')}"
             )
             lines.append(
                 f"  state {s['state']}: max {s['max_abs_policy_diff']:.6g}, "

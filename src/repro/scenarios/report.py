@@ -116,7 +116,9 @@ def _contraction_rate(samples: list) -> float | None:
     rate.  Returns ``None`` with fewer than two usable samples or when
     the fit says the errors are not shrinking.
     """
-    pts = [(i, math.log(e)) for i, e, _ in samples if e > 0.0]
+    # non-finite errors (a diverging member overflowing to inf/nan before
+    # its sequential fallback kicks in) would poison the whole fit
+    pts = [(i, math.log(e)) for i, e, _ in samples if e > 0.0 and math.isfinite(e)]
     if len(pts) < 2:
         return None
     n = float(len(pts))
@@ -128,7 +130,13 @@ def _contraction_rate(samples: list) -> float | None:
     if denom <= 0.0:
         return None
     slope = (n * sxy - sx * sy) / denom
-    return slope if slope < 0.0 else None
+    # a stalled sequence fits a slope of ~0 up to float noise; treating
+    # -1e-16 as "contracting" extrapolates a 10^15-iteration ETA.  Demand
+    # a slope that could actually cross a tolerance within a realistic
+    # iteration budget before calling the errors "shrinking".
+    if not math.isfinite(slope) or slope >= -1e-9:
+        return None
+    return slope
 
 
 def estimate_eta(progress: dict) -> dict | None:
@@ -142,7 +150,15 @@ def estimate_eta(progress: dict) -> dict | None:
     samples = progress.get("samples") or []
     tolerance = progress.get("tolerance")
     error = progress.get("error")
-    if not samples or not tolerance or not error or error <= 0.0:
+    # NaN slips through every comparison guard (``nan <= x`` is False) and
+    # inf survives ``error <= 0.0`` — both used to reach the log/ceil below
+    # and surface as a crash or a negative "ETA"
+    if not samples or not tolerance or not error:
+        return None
+    tolerance, error = float(tolerance), float(error)
+    if not math.isfinite(tolerance) or tolerance <= 0.0:
+        return None
+    if not math.isfinite(error) or error <= 0.0:
         return None
     if error <= tolerance:
         return {"iterations_left": 0, "seconds_left": 0.0, "rate": None}
@@ -154,6 +170,8 @@ def estimate_eta(progress: dict) -> dict | None:
     if max_iterations:
         budget = max(int(max_iterations) - int(progress.get("iteration", 0)), 0)
         iterations_left = min(iterations_left, float(budget))
+    if not math.isfinite(iterations_left) or iterations_left < 0.0:
+        return None  # a stalled/growing sequence has no meaningful ETA
     walls = [w for _, _, w in samples if w > 0.0]
     mean_wall = sum(walls) / len(walls) if walls else 0.0
     return {

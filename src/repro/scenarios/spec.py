@@ -41,6 +41,7 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioSuite",
     "canonical_json",
+    "flatten_index_fields",
     "preset_names",
     "get_preset",
     "smoke_suite",
@@ -90,6 +91,27 @@ def _plain(value):
 def canonical_json(data) -> str:
     """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
     return json.dumps(_plain(data), sort_keys=True, separators=(",", ":"))
+
+
+def flatten_index_fields(
+    calibration: Mapping, solver: Mapping, params: Mapping
+) -> dict:
+    """Dotted-key flat dict of the spec fields the secondary index covers.
+
+    Only scalar leaves are indexable — a list- or dict-valued override
+    (e.g. an explicit shock grid) is dropped rather than flattened, since
+    range predicates over it would be meaningless.
+    """
+    flat: dict = {}
+    for group, mapping in (
+        ("calibration", calibration),
+        ("solver", solver),
+        ("params", params),
+    ):
+        for key, value in dict(mapping).items():
+            if value is None or isinstance(value, (bool, int, float, str)):
+                flat[f"{group}.{key}"] = value
+    return flat
 
 
 @dataclass(frozen=True)
@@ -260,6 +282,15 @@ class ScenarioSpec:
             params={**self.params, **dict(params or {})},
             tags=tuple(tags) if tags is not None else self.tags,
         )
+
+    def index_fields(self) -> dict:
+        """Dotted-key flat view of the indexable spec fields.
+
+        These land in the queryable secondary index (see
+        :meth:`repro.scenarios.store.ResultsStore.query`); because they are
+        part of the content hash they are immutable per stored entry.
+        """
+        return flatten_index_fields(self.calibration, self.solver, self.params)
 
     def describe(self) -> str:
         """One-line summary used by ``--dry-run`` listings."""

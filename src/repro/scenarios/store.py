@@ -14,6 +14,7 @@ Key layout (identical across backends)::
     manifest.log                # file://: append-only JSONL, one line per commit
     commits/<stamp>-<rand>.json # mem://, s3://: one immutable object per commit
     commit-snapshots/snapshot-<seq>.json  # compacted commit-log checkpoint
+    index-snapshots/index-<seq>.json      # queryable secondary-index sidecar
     manifest-segments/<stamp>-<rand>.jsonl  # file://: rotated log awaiting the fold
     manifest.v1.json            # parked copy of a migrated legacy manifest
     leases/<hash16>/...         # claim/lease coordination state (lease.py)
@@ -88,11 +89,18 @@ from repro.scenarios.backends import (
     StorageBackend,
     backend_from_url,
     is_store_url,
+    load_index_union,
 )
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec, flatten_index_fields
 from repro.utils.logging import get_logger
 
-__all__ = ["ResultsStore", "ScenarioStore", "StoreEventSink", "parse_event_lines"]
+__all__ = [
+    "ResultsStore",
+    "ScenarioStore",
+    "StoreEventSink",
+    "parse_event_lines",
+    "parse_predicate",
+]
 
 logger = get_logger("scenarios.store")
 
@@ -112,6 +120,119 @@ _CHECKPOINT_KEY_RE = re.compile(r"/checkpoint(?:-(\d+))?\.npz$")
 #: keys of an entry copied onto its commit-log record (enough for discovery
 #: and wall-time-aware scheduling without opening any entry.json)
 _LOG_FIELDS = ("spec_hash", "name", "kind", "status", "wall_time", "created_at_unix")
+
+#: entry-level result aggregates the secondary index carries alongside the
+#: log fields and the dotted spec fields
+_INDEX_AGGREGATES = ("converged", "iterations", "final_error", "resumed", "points_per_state")
+
+#: log-record keys whose values identify one committed entry state; an
+#: index-sidecar record matching the winning log record on all of them is
+#: current and needs no entry.json re-read
+_INDEX_FINGERPRINT = ("status", "wall_time", "created_at_unix")
+
+#: comparison operators ``parse_predicate`` recognises, longest first so
+#: ``<=`` is never mis-split as ``<`` followed by ``=...``
+_PREDICATE_OPS = ("<=", ">=", "!=", "==", "<", ">", "=")
+
+
+def parse_predicate(text: str) -> tuple:
+    """Parse ``"field<op>value"`` into ``(field, op, value)``.
+
+    ``value`` is decoded as JSON when possible (numbers, booleans,
+    ``null``, quoted strings) and kept as a raw string otherwise, so
+    ``tau_labor>0.25`` compares numerically while ``status=completed``
+    compares as text.  ``=`` is normalised to ``==``.
+    """
+    for op in _PREDICATE_OPS:
+        field, sep, raw = str(text).partition(op)
+        if not sep:
+            continue
+        field, raw = field.strip(), raw.strip()
+        if not field or not raw:
+            break
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        return field, ("==" if op == "=" else op), value
+    raise ValueError(
+        f"malformed predicate {text!r} (expected field<op>value with one of "
+        + ", ".join(_PREDICATE_OPS[:-1])
+        + ")"
+    )
+
+
+def _resolve_predicate_field(record: dict, field: str) -> str | None:
+    """The record key a predicate field names, or ``None`` when absent.
+
+    Exact (dotted) keys win; a bare field like ``tau_labor`` is tried
+    against the ``calibration.``/``solver.``/``params.`` groups and must
+    be unambiguous within the record.
+    """
+    if field in record:
+        return field
+    present = [
+        f"{group}.{field}"
+        for group in ("calibration", "solver", "params")
+        if f"{group}.{field}" in record
+    ]
+    if len(present) > 1:
+        raise ValueError(
+            f"field {field!r} is ambiguous (matches {', '.join(present)}); "
+            "use the dotted form"
+        )
+    return present[0] if present else None
+
+
+def _predicate_matches(record: dict, field: str, op: str, value) -> bool:
+    key = _resolve_predicate_field(record, field)
+    if key is None:
+        return False
+    actual = record[key]
+    if op == "==":
+        return actual == value
+    if op == "!=":
+        return actual != value
+    # ordering comparisons only between two numbers or two strings — a
+    # range predicate over mixed/None/bool values silently matching would
+    # be worse than matching nothing
+    numeric = (
+        isinstance(actual, (int, float))
+        and not isinstance(actual, bool)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    )
+    if not numeric and not (isinstance(actual, str) and isinstance(value, str)):
+        return False
+    if op == "<":
+        return actual < value
+    if op == "<=":
+        return actual <= value
+    if op == ">":
+        return actual > value
+    return actual >= value
+
+
+def _winning_records(records) -> dict:
+    """hash -> the log record whose entry state should be live.
+
+    Mirrors the store's no-downgrade commit rule: per hash the last
+    *completed* record wins (a later failed/interrupted re-run never
+    overwrites completed work), and non-completed records only stand in
+    while no completed record exists.
+    """
+    winners: dict = {}
+    completed: set = set()
+    for rec in records:
+        h = rec.get("spec_hash")
+        if not h:
+            continue
+        if rec.get("status") == "completed":
+            winners[h] = rec
+            completed.add(h)
+        elif h not in completed:
+            winners[h] = rec
+    return winners
 
 
 def _provenance() -> dict:
@@ -174,6 +295,14 @@ class ResultsStore:
                     AUTO_COMPACT_TAIL_ENV, raw, _AUTO_COMPACT_TAIL_DEFAULT,
                 )
                 auto_compact_tail = _AUTO_COMPACT_TAIL_DEFAULT
+            else:
+                if auto_compact_tail < 0:
+                    # previously swallowed silently by the max() below —
+                    # surface the clamp so a typo'd "-512" is explainable
+                    logger.warning(
+                        "clamping negative %s=%r to 0 (auto-compaction disabled)",
+                        AUTO_COMPACT_TAIL_ENV, raw,
+                    )
         self.auto_compact_tail = max(0, int(auto_compact_tail))
         self._migrate_legacy_manifest()
 
@@ -460,10 +589,16 @@ class ResultsStore:
         the backend's default, generous enough for in-flight readers),
         and a compactor dying mid-way leaves only duplicates the merge
         dedupes by key.  Returns the backend's report dict.
+
+        The fold also refreshes the queryable secondary index: every
+        hash's winning record is materialised into an ``index-snapshots/``
+        sidecar (see :meth:`query`), so filtered lookups on a compacted
+        store never open per-entry objects.
         """
-        if grace_seconds is None:
-            return self.backend.compact()
-        return self.backend.compact(grace_seconds=float(grace_seconds))
+        kwargs: dict = {"index_builder": self._compaction_index_builder}
+        if grace_seconds is not None:
+            kwargs["grace_seconds"] = float(grace_seconds)
+        return self.backend.compact(**kwargs)
 
     def _maybe_auto_compact(self) -> None:
         if not self.auto_compact_tail:
@@ -566,28 +701,145 @@ class ResultsStore:
         return matches[0]
 
     def wall_times(self) -> dict:
-        """hash -> most recent recorded wall time, straight from the log.
+        """hash -> most recent recorded wall time, from the secondary index.
 
         Fed to the runner's longest-first scheduler.  A *completed*
         record always beats interrupted/failed ones — a forced re-run
         killed after one iteration must not overwrite a full solve's
         recorded 300s with its 2s partial and invert the schedule.
         Partial times still stand in when no completed run exists (they
-        are a lower bound on the scenario's true cost).
+        are a lower bound on the scenario's true cost).  Routed through
+        :meth:`index_records` without hydration, so no ``entry.json``
+        object is ever opened for this.
         """
         times: dict = {}
-        completed: set = set()
-        for rec in self.log_records():
-            h = rec.get("spec_hash")
+        for h, rec in self.index_records(hydrate=False).items():
             wall = rec.get("wall_time")
-            if not h or not isinstance(wall, (int, float)) or wall <= 0:
-                continue
-            if rec.get("status") == "completed":
-                times[h] = float(wall)
-                completed.add(h)
-            elif h not in completed:
+            if isinstance(wall, (int, float)) and not isinstance(wall, bool) and wall > 0:
                 times[h] = float(wall)
         return times
+
+    # ------------------------------------------------------------------ #
+    # queryable secondary index
+    # ------------------------------------------------------------------ #
+    def build_index_record(self, spec_or_hash) -> dict | None:
+        """The full index record of one hash, built from its ``entry.json``.
+
+        Carries the log fields, ``tags``, the result aggregates in
+        :data:`_INDEX_AGGREGATES` and the dotted spec fields
+        (``calibration.beta``, ``solver.grid_level``, ``params.dim``) the
+        query engine filters on.  Entries committed before the spec groups
+        were embedded fall back to the stored ``spec.json``.  ``None``
+        when the entry object is missing/unreadable.
+        """
+        entry = self.entry(spec_or_hash)
+        if entry is None:
+            return None
+        record = {k: entry.get(k) for k in _LOG_FIELDS}
+        record["tags"] = list(entry.get("tags", ()))
+        for key in _INDEX_AGGREGATES:
+            if key in entry:
+                record[key] = entry[key]
+        if any(isinstance(entry.get(g), dict) for g in ("calibration", "solver", "params")):
+            record.update(
+                flatten_index_fields(
+                    entry.get("calibration", {}),
+                    entry.get("solver", {}),
+                    entry.get("params", {}),
+                )
+            )
+        else:
+            try:  # legacy entry: the spec groups live only in spec.json
+                record.update(self.load_spec(entry["spec_hash"]).index_fields())
+            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                pass  # spec object gone; index the entry-level fields only
+        return record
+
+    def index_records(self, hydrate: bool = True) -> dict:
+        """hash -> secondary-index record, in O(snapshot + tail) log reads.
+
+        The union of the ``index-snapshots/`` sidecars covers everything
+        folded at the last compaction; the winning record of the un-folded
+        log tail is merged on top, so a commit is queryable the moment it
+        lands, compacted or not.  A sidecar record whose fingerprint
+        (status/wall time/creation stamp) disagrees with the winning log
+        record is stale — a newer commit has not been folded yet — and is
+        refreshed from ``entry.json`` when ``hydrate`` is true, or
+        overlaid with the thin log fields when false (``hydrate=False``
+        never opens an entry object; spec fields are immutable per hash,
+        so a stale sidecar's spec fields remain valid under the overlay).
+        """
+        self._maybe_auto_compact()
+        sidecar, _keys = load_index_union(self.backend)
+        out: dict = {}
+        for h, rec in _winning_records(self.log_records()).items():
+            base = sidecar.get(h)
+            if isinstance(base, dict) and all(
+                base.get(k) == rec.get(k) for k in _INDEX_FINGERPRINT
+            ):
+                out[h] = dict(base)
+                continue
+            if hydrate:
+                built = self.build_index_record(h)
+                if built is not None:
+                    out[h] = built
+                # else: entry object vanished (pruned directory) — drop,
+                # consistent with index()
+            else:
+                thin = {k: rec.get(k) for k in _LOG_FIELDS}
+                out[h] = {**(base if isinstance(base, dict) else {}), **thin}
+        return out
+
+    def query(self, where=(), status: str | None = None, hash_prefix: str | None = None) -> list:
+        """Filtered index records (the ``repro-scenarios query`` engine).
+
+        ``where`` is a conjunction of predicates — ``"field<op>value"``
+        strings (see :func:`parse_predicate`) or pre-parsed
+        ``(field, op, value)`` triples.  Bare field names search the
+        ``calibration.``/``solver.``/``params.`` groups; ``status`` and
+        ``hash_prefix`` are convenience filters for the two most common
+        axes.  Returns matching records oldest-first (creation time, then
+        hash).  Cost on a compacted store is O(index snapshot + un-folded
+        tail) backend reads — no per-entry objects are opened unless a
+        tail commit is newer than the last fold.
+        """
+        predicates = [parse_predicate(w) if isinstance(w, str) else tuple(w) for w in where]
+        hash_prefix = str(hash_prefix) if hash_prefix else ""
+        matches = []
+        for h, rec in self.index_records(hydrate=True).items():
+            if not h.startswith(hash_prefix):
+                continue
+            if status is not None and rec.get("status") != status:
+                continue
+            if all(_predicate_matches(rec, f, op, v) for f, op, v in predicates):
+                matches.append(rec)
+        matches.sort(key=lambda r: (r.get("created_at_unix") or 0.0, r.get("spec_hash") or ""))
+        return matches
+
+    def _compaction_index_builder(self, prev: dict, records: list) -> dict:
+        """``index_builder`` hook the backends call inside :meth:`compact`.
+
+        ``prev`` is the union of the existing sidecars, ``records`` the
+        full merged log being folded.  Per hash: a fingerprint-current
+        previous record is reused as-is (no entry read), otherwise the
+        record is rebuilt from ``entry.json``; a hash whose entry object
+        vanished keeps its previous record so a racing delete never
+        shrinks the index mid-fold.
+        """
+        out: dict = {}
+        for h, rec in _winning_records(records).items():
+            base = prev.get(h)
+            if isinstance(base, dict) and all(
+                base.get(k) == rec.get(k) for k in _INDEX_FINGERPRINT
+            ):
+                out[h] = base
+                continue
+            built = self.build_index_record(h)
+            if built is not None:
+                out[h] = built
+            elif isinstance(base, dict):
+                out[h] = base
+        return out
 
     def entry_is_complete(self, entry: dict | None) -> bool:
         """Whether an entry denotes a completed, readable result.
@@ -628,6 +880,12 @@ class ResultsStore:
             "status": status,
             "wall_time": float(wall_time),
             "directory": self.scenario_key(spec),
+            # the spec groups ride on the entry so the secondary index can
+            # be rebuilt from entry.json alone (spec.json stays the full
+            # authoritative spec, incl. name/tags)
+            "calibration": dict(spec.calibration),
+            "solver": dict(spec.solver),
+            "params": dict(spec.params),
             **_provenance(),
         }
 
@@ -724,12 +982,21 @@ class ResultsStore:
         ``s3://`` stores.
         """
         infos = []
+        index_by_dir: dict | None = None
         for key in self.backend.list():
             match = _CHECKPOINT_KEY_RE.search(key)
             if key.count("/") != 1 or match is None:
                 continue
             directory = key.split("/", 1)[0]
-            entry = self.entry(directory) or {}
+            if index_by_dir is None:
+                # one index-record scan annotates every checkpoint — thin
+                # records carry hash/name/status, so a store with hundreds
+                # of checkpoints costs zero per-scenario entry reads here
+                index_by_dir = {
+                    h[:_DIR_HASH_CHARS]: rec
+                    for h, rec in self.index_records(hydrate=False).items()
+                }
+            entry = index_by_dir.get(directory) or self.entry(directory) or {}
             try:
                 mtime = self.backend.mtime(key)
             except FileNotFoundError:

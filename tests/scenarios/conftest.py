@@ -42,6 +42,12 @@ def make_store_url(scheme: str, tmp_path, name: str = "store") -> str:
     if scheme == "mem":
         return f"mem://{uuid.uuid4().hex[:12]}-{name}"
     if scheme == "s3":
+        live = os.environ.get("REPRO_S3_ENDPOINT", "").strip()
+        if live.startswith(("http://", "https://")):
+            # CI's containerized-MinIO leg: run the same tests over the
+            # real boto3 client; a unique per-test prefix inside the
+            # shared bucket keeps stores isolated without bucket churn
+            return f"s3://test-bucket/{uuid.uuid4().hex[:12]}/{name}?endpoint={live}"
         endpoint = (tmp_path / "object-store-endpoint").absolute().as_posix()
         return f"s3://test-bucket/{name}?endpoint={endpoint}"
     raise ValueError(f"unknown test scheme {scheme!r}")

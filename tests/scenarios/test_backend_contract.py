@@ -27,7 +27,12 @@ from repro.scenarios import (
     run_suite,
 )
 from repro.scenarios.__main__ import main as cli_main
-from repro.scenarios.backends import COMMIT_LOG_PREFIX, SNAPSHOT_PREFIX
+from repro.scenarios.backends import (
+    COMMIT_LOG_PREFIX,
+    INDEX_SNAPSHOT_PREFIX,
+    SNAPSHOT_PREFIX,
+    load_index_union,
+)
 
 # --------------------------------------------------------------------------- #
 # helpers
@@ -709,6 +714,193 @@ class TestStoreCompaction:
         # show still answers through the snapshot
         assert cli_main(["show", "--store", url]) == 0
         assert "3 entry(ies)" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# queryable secondary index (folded at compaction, tail-merged at read)
+# --------------------------------------------------------------------------- #
+class TestQueryIndex:
+    """Conformance of the ``index-snapshots/`` sidecar + ``query()`` path."""
+
+    def _commit_payloads(self, store, n, wall=lambda i: float(i + 1)):
+        specs = [_payload_spec(i) for i in range(n)]
+        for i, spec in enumerate(specs):
+            store.commit_entry(store.write_payload(spec, {"i": i}, wall_time=wall(i)))
+        return specs
+
+    def test_compaction_folds_index_sidecar(self, store):
+        specs = self._commit_payloads(store, 5)
+        assert store.backend.list(INDEX_SNAPSHOT_PREFIX) == []
+        report = store.compact(grace_seconds=0)
+        keys = store.backend.list(INDEX_SNAPSHOT_PREFIX)
+        assert keys == [report["index_snapshot"]]
+        assert report["index_records"] == 5
+        # the sidecar shares the commit snapshot's fold sequence
+        seq = report["snapshot"].rsplit("/", 1)[-1][len("snapshot-"):]
+        assert keys[0].endswith(f"index-{seq}")
+        union, union_keys = load_index_union(store.backend)
+        assert union_keys == keys
+        assert set(union) == {s.content_hash() for s in specs}
+        rec = union[specs[3].content_hash()]
+        assert rec["status"] == "completed"
+        assert rec["params.total_processes"] == 2**4
+        assert rec["wall_time"] == 4.0
+
+    def test_query_matches_full_index_scan(self, store):
+        specs = self._commit_payloads(store, 6)
+        store.commit_entry(
+            store.failure_entry(_payload_spec(6), "interrupted", 0.5, "killed")
+        )
+        store.compact(grace_seconds=0)
+        ground_truth = {
+            h
+            for h, e in store.index().items()
+            if e.get("status") == "completed"
+            and e.get("params", {}).get("total_processes", 0) > 4
+        }
+        hits = store.query(where=["total_processes>4"], status="completed")
+        assert {r["spec_hash"] for r in hits} == ground_truth
+        assert len(hits) == 4  # 2**(1+i) > 4 for i in 2..5
+        # conjunctions, dotted fields, !=, string equality and hash prefix
+        assert store.query(where=["params.total_processes>=8", "total_processes<=16"])
+        assert all(
+            r["params.which"] == "partition" for r in store.query(where=["which=partition"])
+        )
+        assert not store.query(where=["which!=partition"])
+        some = specs[0].content_hash()
+        assert [r["spec_hash"] for r in store.query(hash_prefix=some[:12])] == [some]
+        # unknown fields match nothing; malformed predicates raise
+        assert store.query(where=["no_such_field>1"]) == []
+        with pytest.raises(ValueError):
+            store.query(where=["no-operator-here"])
+
+    def test_unfolded_tail_is_visible_to_queries(self, store):
+        self._commit_payloads(store, 2)
+        store.compact(grace_seconds=0)
+        # a commit after the fold must be queryable immediately...
+        late = _payload_spec(7)
+        store.commit_entry(store.write_payload(late, {}, wall_time=9.0))
+        hits = store.query(where=["total_processes=256"])
+        assert [r["spec_hash"] for r in hits] == [late.content_hash()]
+        # ...and so must a status change of an already-folded hash
+        # (stale sidecar record loses to the winning tail record)
+        redo = _payload_spec(0)
+        store.commit_entry(store.write_payload(redo, {"rerun": True}, wall_time=77.0))
+        rec = next(
+            r for r in store.query() if r["spec_hash"] == redo.content_hash()
+        )
+        assert rec["wall_time"] == 77.0
+        assert store.wall_times()[redo.content_hash()] == 77.0
+
+    def test_racing_compactors_union_safely(self, store, any_store_url):
+        """Two compactors folding at different times leave sidecars that
+        union per hash (newest fold wins) under the grace-window protocol."""
+        specs = self._commit_payloads(store, 2)
+        store.compact(grace_seconds=10_000)  # everything kept for grace
+        late = _payload_spec(5)
+        other = ResultsStore.open(any_store_url)
+        other.commit_entry(other.write_payload(late, {}, wall_time=3.0))
+        other.compact(grace_seconds=10_000)
+        assert len(store.backend.list(INDEX_SNAPSHOT_PREFIX)) == 2
+        union, _keys = load_index_union(store.backend)
+        expected = {s.content_hash() for s in specs} | {late.content_hash()}
+        assert set(union) == expected
+        assert {r["spec_hash"] for r in store.query(status="completed")} == expected
+        # once the grace window is waived the superseded sidecar is GC'd
+        store.compact(grace_seconds=0)
+        assert len(store.backend.list(INDEX_SNAPSHOT_PREFIX)) == 1
+        assert {r["spec_hash"] for r in store.query(status="completed")} == expected
+
+    @pytest.mark.parametrize("scheme", ["mem", "s3"])
+    def test_query_on_compacted_store_is_o_snapshot_plus_tail(
+        self, scheme, store_url_for
+    ):
+        """Acceptance: a filtered query on a 1,000-entry compacted store
+        costs O(index snapshot + tail) gets — no per-entry reads."""
+        store = ResultsStore.open(store_url_for(scheme))
+        store.auto_compact_tail = 0
+        specs = [
+            ScenarioSpec(
+                f"q{i}",
+                kind="ablations",
+                params={"which": "partition", "total_processes": 2, "i": i},
+            )
+            for i in range(1000)
+        ]
+        for i, spec in enumerate(specs):
+            store.commit_entry(
+                store.write_payload(spec, {"i": i}, wall_time=float(i % 10 + 1))
+            )
+        store.compact(grace_seconds=0)
+        backend = store.backend
+        counted = {"get": 0, "entry_gets": 0}
+        original_get = backend.get
+
+        def counting_get(key):
+            counted["get"] += 1
+            if key.endswith("/entry.json"):
+                counted["entry_gets"] += 1
+            return original_get(key)
+
+        backend.get = counting_get
+        hits = store.query(where=["i>=990"], status="completed")
+        assert len(hits) == 10
+        assert counted["entry_gets"] == 0  # served entirely from the sidecar
+        assert counted["get"] <= 8  # index sidecar + commit snapshot + slack
+        # consistent with the ground truth of a full entry scan
+        backend.get = original_get
+        expected = {
+            h for h, e in store.index().items() if e.get("params", {}).get("i", -1) >= 990
+        }
+        assert {r["spec_hash"] for r in hits} == expected
+        # a fresh tail commit costs O(tail) extra, still no entry reads
+        store.commit_entry(store.write_payload(specs[0], {"rerun": True}, wall_time=42.0))
+        counted.update(get=0, entry_gets=0)
+        backend.get = counting_get
+        assert len(store.query(where=["i>=990"])) == 10
+        assert counted["entry_gets"] <= 1 and counted["get"] <= 10
+
+    def test_cli_query_subcommand(self, store_url_for, capsys):
+        url = store_url_for("s3", name="cli-query")
+        store = ResultsStore.open(url)
+        self._commit_payloads(store, 4)
+        store.compact(grace_seconds=0)
+        code = cli_main(
+            ["query", "--store", url, "--where", "total_processes>4",
+             "--status", "completed", "--json"]
+        )
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2  # 8 and 16
+        assert {r["params.total_processes"] for r in records} == {8, 16}
+        assert cli_main(["query", "--store", url, "--where", "total_processes=8"]) == 0
+        out = capsys.readouterr().out
+        assert "1 matching entry(ies)" in out and "contract-2" in out
+        assert cli_main(["query", "--store", url, "--where", "bogus"]) == 2
+        assert "malformed predicate" in capsys.readouterr().err
+
+    def test_negative_env_values_warn_once(self, store_url_for, monkeypatch, caplog):
+        import logging
+
+        from repro.scenarios.backends.retry import (
+            RETRIES_ENV,
+            RETRY_BASE_ENV,
+            _env_float,
+            _env_int,
+        )
+
+        monkeypatch.setenv("REPRO_STORE_AUTO_COMPACT_TAIL", "-512")
+        with caplog.at_level(logging.WARNING):
+            store = ResultsStore.open(store_url_for("file", name="env-neg"))
+        assert store.auto_compact_tail == 0
+        assert sum("clamping negative" in r.message for r in caplog.records) == 1
+        caplog.clear()
+        monkeypatch.setenv(RETRIES_ENV, "-3")
+        monkeypatch.setenv(RETRY_BASE_ENV, "-0.5")
+        with caplog.at_level(logging.WARNING):
+            assert _env_int(RETRIES_ENV, 3) == 0
+            assert _env_float(RETRY_BASE_ENV, 0.05) == 0.0
+        assert sum("clamping negative" in r.message for r in caplog.records) == 2
 
 
 # --------------------------------------------------------------------------- #

@@ -91,6 +91,42 @@ class TestDiffEntries:
         assert diff["calibration"]["changed"]["num_generations"] == {"a": 4, "b": 5}
         assert "comparison skipped" in format_diff(diff)
 
+    def test_grid_level_mismatch_degrades_to_common_sample(self, tmp_path, capsys):
+        # satellite regression: same state-space dimension, different
+        # solver.grid_level — the surplus vectors have different shapes,
+        # which used to surface as a raw numpy broadcast error.  The diff
+        # must degrade to the common-sample policy comparison and report
+        # surplus_delta_linf: null with a shape-mismatch note.
+        def solve_spec(name, level):
+            return ScenarioSpec(
+                name,
+                calibration={"num_generations": 4, "num_states": 1, "beta": 0.8},
+                solver={"grid_level": level, "tolerance": 1e-3, "max_iterations": 6},
+            )
+
+        suite = ScenarioSuite("levels", [solve_spec("l1", 1), solve_spec("l2", 2)])
+        store = ResultsStore(tmp_path / "store")
+        assert run_suite(suite, store).ok
+        diff = diff_entries(store, suite[0].content_hash(), suite[1].content_hash())
+        policy = diff["policy"]
+        assert "skipped" not in policy  # the sample comparison still runs
+        assert policy["max_abs_policy_diff"] >= 0
+        for state in policy["per_state"]:
+            assert state["same_grid"] is False
+            assert state["surplus_delta_linf"] is None  # explicit null, not absent
+            assert "points" in state["surplus_note"]
+        # JSON output carries the null; text output renders the note
+        assert json.loads(json.dumps(diff))["policy"]["per_state"][0][
+            "surplus_delta_linf"
+        ] is None
+        text = format_diff(diff)
+        assert "grids differ" in text and "not comparable" in text
+        code = cli_main(
+            ["diff", suite[0].short_hash, suite[1].short_hash, "--store", str(store.root)]
+        )
+        assert code == 0
+        assert "grids differ" in capsys.readouterr().out
+
     def test_interrupted_entry_diffs_without_policy(self, tmp_path, capsys):
         # workers save the spec before solving, so an interrupted entry
         # still yields calibration deltas; the policy section is skipped

@@ -35,6 +35,7 @@ from repro.scenarios.report import (
     ProgressBoard,
     estimate_eta,
     follow,
+    format_progress_line,
     gather_run_data,
     render_html,
     render_markdown,
@@ -340,6 +341,57 @@ class TestProgressAndEta:
         progress = self._geometric_progress(tolerance=1.0)
         eta = estimate_eta(progress)
         assert eta == {"iterations_left": 0, "seconds_left": 0.0, "rate": None}
+
+    def test_eta_clamped_for_non_contracting_series(self):
+        # satellite regression: a stalled series fits a float-noise slope
+        # of ~-1e-16, which used to extrapolate a 10^15-iteration "ETA";
+        # a growing (diverging-member) series used to yield negative ones.
+        # Both must clamp to n/a (None), with or without a budget.
+        stalled = {
+            "status": "running",
+            "iteration": 6,
+            "error": 1e-2,
+            "tolerance": 1e-4,
+            "samples": [(i, 1e-2, 0.1) for i in range(1, 7)],
+        }
+        assert estimate_eta(stalled) is None
+        growing = dict(
+            stalled,
+            error=1e-3 * 2.0**6,
+            samples=[(i, 1e-3 * 2.0**i, 0.1) for i in range(1, 7)],
+        )
+        assert estimate_eta(growing) is None
+        assert estimate_eta(dict(growing, max_iterations=100)) is None
+
+    def test_eta_none_for_non_finite_inputs(self):
+        # NaN slips through every <=-style guard and inf survives the
+        # positivity check — both used to reach math.log/math.ceil and
+        # crash or poison the fit
+        nan = float("nan")
+        inf = float("inf")
+        base = {
+            "status": "running",
+            "iteration": 3,
+            "tolerance": 1e-4,
+            "samples": [(1, 1e-1, 0.1), (2, 1e-2, 0.1), (3, nan, 0.1)],
+            "error": nan,
+        }
+        assert estimate_eta(base) is None
+        assert estimate_eta(dict(base, error=inf)) is None
+        assert estimate_eta(dict(base, error=1e-2, tolerance=-1.0)) is None
+        assert estimate_eta(dict(base, error=1e-2, tolerance=nan)) is None
+        # non-finite samples are filtered, not fatal: the finite prefix
+        # still contracts, so a real ETA comes back
+        healthy_tail = dict(
+            base,
+            error=1e-3,
+            samples=[(1, 1e-1, 0.1), (2, 1e-2, 0.1), (3, 1e-3, 0.1), (4, inf, 0.1)],
+        )
+        eta = estimate_eta(healthy_tail)
+        assert eta is not None and eta["iterations_left"] > 0
+        # and the progress-line renderer survives an ETA-less record
+        line = format_progress_line(dict(base, scenario="s" * 16, points=10))
+        assert "eta" not in line or "n/a" in line
 
     def test_board_tracks_scenario_lifecycle(self):
         board = ProgressBoard()

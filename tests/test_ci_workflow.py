@@ -280,3 +280,42 @@ class TestBatchedSolveGate:
             assert tracked.stdout.strip() == "", (
                 f"bytecode files are tracked: {tracked.stdout}"
             )
+
+
+class TestQueryIndexPipeline:
+    """PR 9 additions: MinIO conformance job + store-query smoke leg."""
+
+    def test_minio_job_runs_conformance_against_real_s3(self, workflow):
+        job = workflow["jobs"].get("minio")
+        assert job, "CI needs the containerized-MinIO conformance job"
+        services = job.get("services", {})
+        minio = services.get("minio", {})
+        assert "minio" in minio.get("image", ""), minio
+        assert "9000:9000" in [str(p) for p in minio.get("ports", [])]
+        env = job.get("env", {})
+        assert env.get("REPRO_S3_ENDPOINT", "").startswith("http://"), env
+        assert "AWS_ACCESS_KEY_ID" in env and "AWS_SECRET_ACCESS_KEY" in env
+        commands = " && ".join(_run_commands(job))
+        # boto3 is a CI-only install: the library itself must not need it
+        assert "boto3" in commands
+        assert "boto3" not in (REPO / "pyproject.toml").read_text(), (
+            "boto3 must stay a CI-only install, not a package dependency"
+        )
+        assert "create_bucket" in commands, "the test bucket must be created up front"
+        assert "tests/scenarios/test_backend_contract.py" in commands
+
+    def test_conftest_reroutes_s3_urls_onto_live_endpoint(self):
+        conftest = (REPO / "tests" / "scenarios" / "conftest.py").read_text()
+        assert "REPRO_S3_ENDPOINT" in conftest
+        assert "test-bucket" in conftest
+
+    def test_bench_script_queries_the_compacted_sweep(self):
+        # the query smoke leg must run over the already-compacted s3://
+        # sweep so the answer provably comes out of the folded sidecar
+        script = (REPO / "benchmarks" / "run_quick.sh").read_text()
+        compact_at = script.index("scenarios compact")
+        query_at = script.index("scenarios query")
+        assert query_at > compact_at, "query smoke must follow compaction"
+        assert "tau_labor>0.15" in script
+        assert "--status completed" in script
+        assert "len(matches) == 1" in script
