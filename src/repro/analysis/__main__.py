@@ -1,0 +1,145 @@
+"""Command-line front end for :mod:`repro.analysis`.
+
+``repro-analyze [paths...]`` analyzes ``src`` by default and prints one
+``path:line:rule: message`` finding per line (or a machine-readable
+envelope with ``--json``).  Exit codes are contractual for CI: 0 clean,
+1 findings, 2 usage error (unknown rule, missing path, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import RULES, __version__, analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="AST-based invariant checker for the repro store/lease/solver stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a JSON envelope instead of text findings",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-analyze {__version__}",
+    )
+    return parser
+
+
+def _list_rules(as_json: bool) -> int:
+    if as_json:
+        catalog = [
+            {
+                "id": rule.id,
+                "title": rule.title,
+                "rationale": rule.rationale,
+                "scope": list(rule.scope),
+            }
+            for rule in RULES.values()
+        ]
+        print(json.dumps({"tool": "repro-analyze", "rules": catalog}, indent=2))
+        return 0
+    for rule in RULES.values():
+        print(f"{rule.id:<20} {rule.title}")
+        print(f"{'':<20} why: {rule.rationale}")
+        print(f"{'':<20} scope: {', '.join(rule.scope)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules(args.as_json)
+
+    select: list[str] | None = None
+    if args.select:
+        select = [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
+        unknown = [rule_id for rule_id in select if rule_id not in RULES]
+        if unknown:
+            print(
+                f"repro-analyze: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(RULES)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-analyze: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = analyze_paths(paths, select=select, root=Path.cwd())
+
+    if args.as_json:
+        envelope = {
+            "tool": "repro-analyze",
+            "version": __version__,
+            "files_scanned": result.files_scanned,
+            "rules_run": list(select if select is not None else RULES),
+            "findings": [finding.to_json() for finding in result.findings],
+            "suppressed": [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "rule": finding.rule,
+                    "reason": reason,
+                }
+                for finding, reason in result.suppressed
+            ],
+        }
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        tail = (
+            f"{len(result.findings)} finding(s) in {result.files_scanned} file(s)"
+            f" ({len(result.suppressed)} suppressed)"
+        )
+        print(tail if result.findings else f"clean: {tail}", file=sys.stderr)
+
+    return 1 if result.findings else 0
+
+
+def run() -> int:
+    """Console-script entry point: :func:`main` with SIGPIPE tolerance.
+
+    ``repro-analyze --list-rules | head`` closes stdout early; exit 0
+    like any well-behaved filter instead of dumping a traceback.
+    """
+    try:
+        return main()
+    except BrokenPipeError:
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,335 @@
+"""Rule engine for ``repro-analyze``: files, findings, suppressions.
+
+The engine is deliberately *static* and stdlib-only: every rule works on
+the :mod:`ast` of one file at a time (plus, for the event-vocabulary
+rule, the parsed constants of ``repro/parallel/tracing.py``), so the
+analyzer runs without importing — or even installing — the package it
+checks.
+
+Three pieces:
+
+* :class:`Rule` — one invariant.  A rule declares an ``id``, a one-line
+  ``title``, a ``rationale`` (why violating it corrupts a store, loses a
+  lease, ...), and a ``scope`` of fnmatch patterns selecting the files
+  it applies to; ``check`` yields :class:`Finding`\\ s for one parsed
+  file.  Rules self-register via the :func:`register` decorator.
+* suppressions — ``# repro: allow[rule-id] -- reason`` on the offending
+  line (or on its own line directly above) silences one rule there.
+  The reason is *mandatory*: an allow comment without ``-- why`` is
+  itself reported (``suppression-reason``), and an allow comment that
+  silences nothing is reported too (``unused-suppression``), so stale
+  escapes cannot accumulate.
+* :func:`analyze_paths` — walk files, run every in-scope rule, apply
+  suppressions, and return a deterministic, sorted result.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RULES",
+    "register",
+    "AnalysisResult",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+#: ``# repro: allow[rule-id, other-rule] -- reason`` (reason optional at
+#: parse time; its absence is reported as a ``suppression-reason`` finding)
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+#: rule ids reserved by the engine itself (never in the registry)
+META_RULES = ("suppression-reason", "unused-suppression", "syntax-error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported invariant violation at ``path:line``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: last source line of the offending node — used only to match
+    #: suppression comments placed anywhere inside a multi-line statement
+    end_line: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.rule}: {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+    #: for a comment on its own line: the next *code* line it covers
+    #: (continuation comment lines in between are skipped); 0 for a
+    #: trailing comment, which covers only its own statement
+    applies_line: int = 0
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule not in self.rules:
+            return False
+        last = max(finding.line, finding.end_line)
+        if finding.line <= self.line <= last:
+            return True
+        return bool(self.applies_line) and finding.line == self.applies_line
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: Path
+    rel: str  # normalized posix path used for scoping and reporting
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+            end_line=getattr(node, "end_lineno", None) or getattr(node, "lineno", 1),
+        )
+
+
+class Rule:
+    """Base class for one statically checkable invariant."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    scope: tuple[str, ...] = ("*",)
+
+    def applies_to(self, rel: str) -> bool:
+        return any(fnmatch.fnmatch(rel, pattern) for pattern in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: the rule registry, in registration order (= catalog order)
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to :data:`RULES`."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} must define an id")
+    if cls.id in RULES or cls.id in META_RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULES[cls.id] = cls()
+    return cls
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """All ``# repro: allow`` comments of a file, via the tokenizer.
+
+    Tokenizing (rather than regex-scanning raw lines) means a string
+    literal *containing* an allow comment — e.g. in the analyzer's own
+    tests — is not mistaken for a real suppression.
+    """
+    suppressions: list[Suppression] = []
+    lines = source.splitlines()
+
+    def next_code_line(after: int) -> int:
+        """1-based number of the first code line after line ``after``."""
+        for offset, text in enumerate(lines[after:], start=after + 1):
+            stripped = text.strip()
+            if stripped and not stripped.startswith("#"):
+                return offset
+        return 0
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if not match:
+                continue
+            rules = tuple(r.strip() for r in match.group("rules").split(","))
+            reason = match.group("reason")
+            standalone = tok.line[: tok.start[1]].strip() == ""
+            suppressions.append(
+                Suppression(
+                    line=tok.start[0],
+                    rules=rules,
+                    reason=reason.strip() if reason else None,
+                    applies_line=next_code_line(tok.start[0]) if standalone else 0,
+                )
+            )
+    except tokenize.TokenError:  # half-written file: no suppressions then
+        pass
+    return suppressions
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run (sorted, deterministic)."""
+
+    findings: list[Finding]
+    suppressed: list[tuple[Finding, str]]
+    files_scanned: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _sort_key(finding: Finding) -> tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+def analyze_file(
+    path: Path, rules: Iterable[Rule], rel: str | None = None
+) -> tuple[list[Finding], list[tuple[Finding, str]]]:
+    """Run ``rules`` over one file; returns (findings, suppressed)."""
+    rel = rel if rel is not None else path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule="syntax-error",
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [finding], []
+
+    ctx = FileContext(
+        path=path, rel=rel, source=source, tree=tree, lines=source.splitlines()
+    )
+    raw: list[Finding] = []
+    active: list[Rule] = [rule for rule in rules if rule.applies_to(rel)]
+    for rule in active:
+        raw.extend(rule.check(ctx))
+
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    for finding in raw:
+        hit = next((s for s in suppressions if s.covers(finding)), None)
+        if hit is None:
+            findings.append(finding)
+        else:
+            hit.used = True
+            if hit.reason:
+                suppressed.append((finding, hit.reason))
+            else:
+                # the violation stays silenced, but the naked allow is a
+                # finding of its own: suppressions must say *why*
+                suppressed.append((finding, ""))
+
+    active_ids = {rule.id for rule in active}
+    for sup in suppressions:
+        if sup.reason is None:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=sup.line,
+                    col=1,
+                    rule="suppression-reason",
+                    message=(
+                        "suppression must carry a reason: "
+                        f"`# repro: allow[{', '.join(sup.rules)}] -- why`"
+                    ),
+                )
+            )
+        if not sup.used and set(sup.rules) <= active_ids:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=sup.line,
+                    col=1,
+                    rule="unused-suppression",
+                    message=(
+                        f"allow[{', '.join(sup.rules)}] suppresses nothing here; "
+                        "remove the stale comment"
+                    ),
+                )
+            )
+    return findings, suppressed
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` (skipping caches/VCS dirs)."""
+    skip = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"}
+    for path in paths:
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not skip.intersection(candidate.parts):
+                    yield candidate
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    select: Iterable[str] | None = None,
+    root: Path | None = None,
+) -> AnalysisResult:
+    """Analyze every python file under ``paths`` with the selected rules.
+
+    ``select`` restricts the run to a subset of rule ids (default: all
+    registered rules).  ``root`` makes reported paths relative (for
+    stable output in CI logs and tests).
+    """
+    if select is None:
+        rules: list[Rule] = list(RULES.values())
+    else:
+        rules = [RULES[rule_id] for rule_id in select]
+    findings: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    count = 0
+    for path in iter_python_files(paths):
+        count += 1
+        rel = path.as_posix()
+        if root is not None:
+            try:
+                rel = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+        file_findings, file_suppressed = analyze_file(path, rules, rel=rel)
+        findings.extend(file_findings)
+        suppressed.extend(file_suppressed)
+    findings.sort(key=_sort_key)
+    suppressed.sort(key=lambda pair: _sort_key(pair[0]))
+    return AnalysisResult(
+        findings=findings, suppressed=suppressed, files_scanned=count
+    )

@@ -460,7 +460,13 @@ class BatchedTimeIterationSolver:
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:
-                    if type(exc).__name__ == "SolveAbandoned":
+                    # deferred import: repro.core must not pull the scenario
+                    # layer in at module load (checkpoint imports core)
+                    from repro.scenarios.checkpoint import SolveAbandoned
+
+                    # isinstance, not a name compare: LeaseLost subclasses
+                    # SolveAbandoned and must take the abandon path too
+                    if isinstance(exc, SolveAbandoned):
                         self._finish(
                             outcomes,
                             member.key,
@@ -521,8 +527,13 @@ class BatchedTimeIterationSolver:
             )
         except KeyboardInterrupt:
             raise
-        except Exception as exc:
-            if type(exc).__name__ == "SolveAbandoned":
+        except Exception as exc:  # repro: allow[broad-except] -- failure lands in the outcome
+            from repro.scenarios.checkpoint import SolveAbandoned
+
+            # isinstance, not a name compare: a LeaseLost (SolveAbandoned
+            # subclass) must abandon, never be recorded as a plain failure
+            # that a later commit could race the lease thief with
+            if isinstance(exc, SolveAbandoned):
                 return MemberOutcome(
                     None, fallback=True, fallback_reason=reason, abandoned=True
                 )

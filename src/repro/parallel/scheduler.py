@@ -138,7 +138,7 @@ class WorkStealingScheduler:
                     return
                 try:
                     results[idx] = fn(items[idx])
-                except Exception as exc:  # noqa: BLE001 - propagate after joining
+                except Exception as exc:  # repro: allow[broad-except] -- re-raised after the join
                     errors.append(exc)
                     return
                 counts[w] += 1
@@ -189,7 +189,7 @@ class StaticScheduler:
             for idx in range(int(bounds[w]), int(bounds[w + 1])):
                 try:
                     results[idx] = fn(items[idx])
-                except Exception as exc:  # noqa: BLE001
+                except Exception as exc:  # repro: allow[broad-except] -- re-raised after the join
                     errors.append(exc)
                     return
                 counts[w] += 1

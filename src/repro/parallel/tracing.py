@@ -220,7 +220,7 @@ class EventRecorder:
             for sink in list(self._sinks):
                 try:
                     sink(event)
-                except Exception:  # noqa: BLE001 - a broken sink must not stop the worker
+                except Exception:  # repro: allow[broad-except] -- drop broken sink, keep solving
                     self._sinks.remove(sink)
         return event
 

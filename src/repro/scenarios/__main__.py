@@ -48,6 +48,7 @@ import sys
 import time
 
 from repro.parallel.executor import EXECUTOR_KINDS
+from repro.scenarios import serialize
 from repro.scenarios.backends import DEFAULT_COMPACT_GRACE, StoreURLError
 from repro.scenarios.diff import diff_entries, format_diff
 from repro.scenarios.lease import DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL, run_worker
@@ -224,9 +225,9 @@ def _build_parser() -> argparse.ArgumentParser:
     work.add_argument(
         "--ttl",
         type=float,
-        default=DEFAULT_TTL,
+        default=None,
         help="lease time-to-live in seconds; heartbeats renew every TTL/3 and "
-        "peers steal leases not renewed for a TTL (default: %(default)s)",
+        f"peers steal leases not renewed for a TTL (default: $REPRO_LEASE_TTL or {DEFAULT_TTL})",
     )
     work.add_argument(
         "--worker-id",
@@ -533,8 +534,9 @@ def _cmd_report(args) -> int:
     store = ResultsStore(args.store)
     rendered = render_report(store, fmt=args.fmt)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write(rendered)
+        # atomic: a killed/raced report run must never leave a torn file
+        # where a previous complete report (or a dashboard symlink) was
+        serialize.atomic_write(args.output, lambda fh: fh.write(rendered), text=True)
         print(f"wrote {args.fmt} report to {args.output}", file=sys.stderr)
     else:
         print(rendered)

@@ -101,7 +101,7 @@ class StoreURLError(ValueError):
     """A store URL that cannot be parsed into a backend."""
 
 
-def is_store_url(target) -> bool:
+def is_store_url(target: object) -> bool:
     """Whether ``target`` is a URL string (vs. a plain filesystem path)."""
     return isinstance(target, str) and bool(_URL_RE.match(target))
 

@@ -73,7 +73,8 @@ import json
 import time
 import uuid
 from abc import ABC, abstractmethod
-from typing import ClassVar
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Protocol
 
 __all__ = [
     "StorageBackend",
@@ -111,6 +112,34 @@ _SNAPSHOT_VERSION = 1
 
 #: bounded re-scans when a racing compactor deletes tail objects mid-merge
 _MERGE_ATTEMPTS = 5
+
+#: ``(record_key, record)`` pairs as stored inside snapshot objects
+Pairs = list[tuple[str, Any]]
+
+#: compaction's index-sidecar callback: ``(previous sidecar records,
+#: merged commit records) -> {spec_hash: index record}``
+IndexBuilder = Callable[[dict[str, Any], list[Any]], dict[str, Any]]
+
+
+class ObjectOps(Protocol):
+    """The flat-object-namespace slice the commit-log machinery needs.
+
+    Both :class:`StorageBackend` and :class:`MergedCommitLog` (a mixin
+    whose concrete subclass supplies these operations) satisfy it
+    structurally, so the snapshot helpers below serve both.
+    """
+
+    url: str
+
+    def get(self, key: str) -> bytes: ...
+
+    def put(self, key: str, data: bytes) -> None: ...
+
+    def list(self, prefix: str = "") -> list[str]: ...
+
+    def delete(self, key: str, missing_ok: bool = True) -> bool: ...
+
+    def mtime(self, key: str) -> float: ...
 
 
 def validate_key(key: str) -> str:
@@ -162,10 +191,10 @@ def index_snapshot_key_for(seq: str) -> str:
     return f"{INDEX_SNAPSHOT_PREFIX}index-{seq}.json"
 
 
-def record_stamp(key: str, record: dict) -> float:
+def record_stamp(key: str, record: object) -> float:
     """Commit time of one record: ``created_at_unix`` when the record
     carries it, else the wall-clock stamp embedded in its log-object key."""
-    stamp = record.get("created_at_unix") if isinstance(record, dict) else None
+    stamp: object = record.get("created_at_unix") if isinstance(record, dict) else None
     if isinstance(stamp, (int, float)) and not isinstance(stamp, bool):
         return float(stamp)
     try:
@@ -174,12 +203,12 @@ def record_stamp(key: str, record: dict) -> float:
         return 0.0
 
 
-def _pair_order(pair) -> tuple:
+def _pair_order(pair: tuple[str, Any]) -> tuple[float, str]:
     key, record = pair
     return (record_stamp(key, record), key)
 
 
-def read_snapshot(backend: "StorageBackend", key: str):
+def read_snapshot(backend: ObjectOps, key: str) -> Pairs | None:
     """``[(record_key, record), ...]`` of one snapshot object, or ``None``
     when the object is missing/foreign/torn (racing compactors)."""
     try:
@@ -194,7 +223,7 @@ def read_snapshot(backend: "StorageBackend", key: str):
     return [(str(k), rec) for k, rec in pairs]
 
 
-def write_snapshot(backend: "StorageBackend", key: str, pairs: list) -> None:
+def write_snapshot(backend: ObjectOps, key: str, pairs: Pairs) -> None:
     """Write one snapshot object and verify it reads back whole.
 
     The verification gates the compactor's delete phase: folded objects
@@ -214,10 +243,10 @@ def write_snapshot(backend: "StorageBackend", key: str, pairs: list) -> None:
         )
 
 
-def load_snapshots(backend: "StorageBackend") -> list:
+def load_snapshots(backend: ObjectOps) -> list[tuple[str, Pairs]]:
     """``[(snapshot_key, pairs), ...]`` for every readable snapshot,
     oldest first (so record order survives repeated folds)."""
-    snaps = []
+    snaps: list[tuple[str, Pairs]] = []
     for key in backend.list(SNAPSHOT_PREFIX):
         pairs = read_snapshot(backend, key)
         if pairs is None:
@@ -226,24 +255,26 @@ def load_snapshots(backend: "StorageBackend") -> list:
     return snaps
 
 
-def _union(snaps: list) -> dict:
+def _union(snaps: list[tuple[str, Pairs]]) -> dict[str, Any]:
     """Record-key -> record union over loaded snapshots; duplicate keys
     across racing snapshots collapse to their first appearance."""
-    folded: dict = {}
+    folded: dict[str, Any] = {}
     for _, pairs in snaps:
         for k, rec in pairs:
             folded.setdefault(k, rec)
     return folded
 
 
-def snapshot_union(backend: "StorageBackend") -> tuple:
+def snapshot_union(backend: ObjectOps) -> tuple[dict[str, Any], list[str]]:
     """``({record_key: record}, [snapshot keys])`` over every readable
     snapshot object."""
     snaps = load_snapshots(backend)
     return _union(snaps), [key for key, _ in snaps]
 
 
-def _aged_record_keys(backend: "StorageBackend", snaps: list, grace_seconds: float) -> tuple:
+def _aged_record_keys(
+    backend: ObjectOps, snaps: list[tuple[str, Pairs]], grace_seconds: float
+) -> tuple[set[str], bool]:
     """``(record keys safe to delete, whether the newest snapshot aged)``.
 
     A folded log object may only disappear once the snapshot holding its
@@ -259,7 +290,7 @@ def _aged_record_keys(backend: "StorageBackend", snaps: list, grace_seconds: flo
     if grace_seconds <= 0:
         return {k for _, pairs in snaps for k, _ in pairs}, True
     cutoff = time.time() - float(grace_seconds)
-    aged: set = set()
+    aged: set[str] = set()
     newest_aged = False
     for key, pairs in snaps:
         try:
@@ -273,12 +304,12 @@ def _aged_record_keys(backend: "StorageBackend", snaps: list, grace_seconds: flo
     return aged, newest_aged
 
 
-def load_index_union(backend: "StorageBackend") -> tuple:
+def load_index_union(backend: ObjectOps) -> tuple[dict[str, Any], list[str]]:
     """``({spec_hash: index record}, [sidecar keys])`` over every readable
     index sidecar.  Sidecar keys sort by their fold sequence, so iterating
     in listing order lets the newest sidecar win per hash."""
-    union: dict = {}
-    keys = []
+    union: dict[str, Any] = {}
+    keys: list[str] = []
     for key in backend.list(INDEX_SNAPSHOT_PREFIX):
         pairs = read_snapshot(backend, key)
         if pairs is None:
@@ -289,7 +320,7 @@ def load_index_union(backend: "StorageBackend") -> tuple:
     return union, keys
 
 
-def _empty_compact_report(url: str) -> dict:
+def _empty_compact_report(url: str) -> dict[str, Any]:
     return {
         "url": url,
         "snapshot": None,
@@ -302,7 +333,13 @@ def _empty_compact_report(url: str) -> dict:
     }
 
 
-def _fold_into_snapshot(backend, snaps: list, merged: list, tail_seqs: list, report: dict):
+def _fold_into_snapshot(
+    backend: ObjectOps,
+    snaps: list[tuple[str, Pairs]],
+    merged: Pairs,
+    tail_seqs: list[str],
+    report: dict[str, Any],
+) -> tuple[str, list[tuple[str, Pairs]]]:
     """Write the fold (fold + verify FIRST) unless it would be a no-op.
 
     Shared epilogue of both compactors — the snapshot's name records the
@@ -321,7 +358,11 @@ def _fold_into_snapshot(backend, snaps: list, merged: list, tail_seqs: list, rep
 
 
 def _gc_superseded_snapshots(
-    backend, snapshot_keys: list, snap_key: str, newest_aged: bool, report: dict
+    backend: ObjectOps,
+    snapshot_keys: list[str],
+    snap_key: str,
+    newest_aged: bool,
+    report: dict[str, Any],
 ) -> None:
     """Collect snapshots the fold absorbed — but only once their successor
     has aged past the grace window (a reader may still be merging through
@@ -337,7 +378,12 @@ def _gc_superseded_snapshots(
 
 
 def _fold_index_sidecar(
-    backend, snap_key: str, merged: list, index_builder, newest_aged: bool, report: dict
+    backend: ObjectOps,
+    snap_key: str,
+    merged: Pairs,
+    index_builder: IndexBuilder | None,
+    newest_aged: bool,
+    report: dict[str, Any],
 ) -> None:
     """Fold the queryable index sidecar accompanying a commit snapshot.
 
@@ -355,7 +401,7 @@ def _fold_index_sidecar(
     prev, prev_keys = load_index_union(backend)
     try:
         records = index_builder(prev, [rec for _, rec in merged])
-    except Exception:  # noqa: BLE001 - derived data; never fail the fold
+    except Exception:  # repro: allow[broad-except] -- index is derived data; never fail the fold
         return
     if not isinstance(records, dict):
         return
@@ -415,7 +461,7 @@ class BlobRef:
     def __str__(self) -> str:
         return f"{self.backend.url}/{self.key}"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, BlobRef)
             and other.backend is self.backend
@@ -461,7 +507,7 @@ class StorageBackend(ABC):
         """
 
     @abstractmethod
-    def list(self, prefix: str = "") -> list:
+    def list(self, prefix: str = "") -> list[str]:
         """Sorted keys starting with ``prefix`` (completed puts only)."""
 
     @abstractmethod
@@ -472,11 +518,11 @@ class StorageBackend(ABC):
     # commit log
     # ------------------------------------------------------------------ #
     @abstractmethod
-    def append_commit(self, record: dict) -> None:
+    def append_commit(self, record: dict[str, Any]) -> None:
         """Durably append one commit record to the store's log."""
 
     @abstractmethod
-    def commit_records(self) -> list:
+    def commit_records(self) -> list[dict[str, Any]]:
         """All commit records, oldest first (duplicates preserved)."""
 
     @abstractmethod
@@ -486,8 +532,10 @@ class StorageBackend(ABC):
 
     @abstractmethod
     def compact(
-        self, grace_seconds: float = DEFAULT_COMPACT_GRACE, index_builder=None
-    ) -> dict:
+        self,
+        grace_seconds: float = DEFAULT_COMPACT_GRACE,
+        index_builder: IndexBuilder | None = None,
+    ) -> dict[str, Any]:
         """Fold the commit log into one snapshot checkpoint object.
 
         Fold first, verify the snapshot is readable, then delete folded
@@ -513,7 +561,7 @@ class StorageBackend(ABC):
         return BlobRef(self, key)
 
     @property
-    def local_root(self):
+    def local_root(self) -> Path | None:
         """The backing :class:`~pathlib.Path` for filesystem backends,
         ``None`` for everything else (callers must use refs then)."""
         return None
@@ -538,12 +586,29 @@ class MergedCommitLog:
     misleading key but cannot reorder the log.
     """
 
-    def append_commit(self, record: dict) -> None:
+    if TYPE_CHECKING:
+        # the concrete backend class supplies the object operations the
+        # mixin composes; declaring them checker-only states the contract
+        # without adding runtime methods that would mask the ABC's
+        # abstractness (the mixin precedes StorageBackend in the MRO)
+        url: str
+
+        def get(self, key: str) -> bytes: ...
+
+        def put(self, key: str, data: bytes) -> None: ...
+
+        def list(self, prefix: str = "") -> list[str]: ...
+
+        def delete(self, key: str, missing_ok: bool = True) -> bool: ...
+
+        def mtime(self, key: str) -> float: ...
+
+    def append_commit(self, record: dict[str, Any]) -> None:
         stamp = f"{time.time():017.6f}"
         key = f"{COMMIT_LOG_PREFIX}{stamp}-{uuid.uuid4().hex[:12]}.json"
         self.put(key, json.dumps(record, sort_keys=True).encode("utf-8"))
 
-    def _merged_pairs(self) -> list:
+    def _merged_pairs(self) -> Pairs:
         """Snapshot records + un-folded tail, as ordered (key, record) pairs.
 
         A racing compactor may fold-and-delete tail objects after we
@@ -555,14 +620,15 @@ class MergedCommitLog:
         last = _MERGE_ATTEMPTS - 1
         for attempt in range(_MERGE_ATTEMPTS):
             snap_keys = self.list(SNAPSHOT_PREFIX)
-            folded: dict = {}
+            folded: dict[str, Any] = {}
             for skey in snap_keys:
                 pairs = read_snapshot(self, skey)
                 if pairs is None:
                     continue  # deleted/torn by a racing compactor
                 for k, rec in pairs:
                     folded.setdefault(k, rec)
-            tail, racing = [], False
+            tail: Pairs = []
+            racing = False
             for key in self.list(COMMIT_LOG_PREFIX):
                 if key in folded:
                     continue  # crashed compactor's leftover; already in a snapshot
@@ -583,7 +649,7 @@ class MergedCommitLog:
             return pairs
         return []  # pragma: no cover - loop always returns
 
-    def commit_records(self) -> list:
+    def commit_records(self) -> list[dict[str, Any]]:
         return [rec for _, rec in self._merged_pairs()]
 
     def commit_log_tail_count(self) -> int:
@@ -591,11 +657,13 @@ class MergedCommitLog:
         return sum(1 for key in self.list(COMMIT_LOG_PREFIX) if key not in folded)
 
     def compact(
-        self, grace_seconds: float = DEFAULT_COMPACT_GRACE, index_builder=None
-    ) -> dict:
+        self,
+        grace_seconds: float = DEFAULT_COMPACT_GRACE,
+        index_builder: IndexBuilder | None = None,
+    ) -> dict[str, Any]:
         snaps = load_snapshots(self)
         folded = _union(snaps)
-        tail = []
+        tail: Pairs = []
         for key in self.list(COMMIT_LOG_PREFIX):
             if key in folded:
                 continue

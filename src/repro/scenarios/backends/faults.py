@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable, Iterable
 
-from repro.scenarios.backends.base import StorageBackend
+from repro.scenarios.backends.base import IndexBuilder, StorageBackend
 from repro.scenarios.backends.retry import TransientStorageError
 
 __all__ = ["InjectedCrash", "FaultRule", "FaultInjectingBackend"]
@@ -59,7 +60,8 @@ class FaultRule:
     after: int = 0  # skip the first N matching calls
     exc: Callable[[], BaseException] | None = None  # for action="error"
     delay: float = 0.0  # for action="delay"
-    callback: Callable | None = None  # for action="call": callback(backend, op, key)
+    # for action="call": callback(backend, op, key)
+    callback: Callable[[StorageBackend, str, str], object] | None = None
     seen: int = field(default=0, init=False)  # matching calls observed
     fired: int = field(default=0, init=False)  # matching calls acted upon
 
@@ -96,21 +98,21 @@ class FaultInjectingBackend(StorageBackend):
 
     scheme = "fault"
 
-    def __init__(self, inner: StorageBackend, rules=()) -> None:
+    def __init__(self, inner: StorageBackend, rules: Iterable[FaultRule] = ()) -> None:
         self.inner = inner
         self.url = inner.url
-        self.rules: list = list(rules)
-        self.ops: list = []  # (op, key) audit trail, for assertions
+        self.rules: list[FaultRule] = list(rules)
+        self.ops: list[tuple[str, str]] = []  # (op, key) audit trail, for assertions
 
     @property
     def process_shared(self) -> bool:  # type: ignore[override]
         return self.inner.process_shared
 
     @property
-    def local_root(self):
+    def local_root(self) -> Path | None:
         return self.inner.local_root
 
-    def add_rule(self, **kwargs) -> FaultRule:
+    def add_rule(self, **kwargs: Any) -> FaultRule:
         """Register and return a new :class:`FaultRule`."""
         rule = FaultRule(**kwargs)
         self.rules.append(rule)
@@ -135,6 +137,7 @@ class FaultInjectingBackend(StorageBackend):
             if rule.action == "delay":
                 time.sleep(rule.delay)
             elif rule.action == "call":
+                assert rule.callback is not None  # enforced in __post_init__
                 rule.callback(self.inner, op, key)
             elif rule.action == "drop":
                 outcome = "drop"
@@ -165,7 +168,7 @@ class FaultInjectingBackend(StorageBackend):
             return False
         return self.inner.delete(key, missing_ok=missing_ok)
 
-    def list(self, prefix: str = "") -> list:
+    def list(self, prefix: str = "") -> list[str]:
         self._intercept("list", prefix)
         return self.inner.list(prefix)
 
@@ -177,17 +180,21 @@ class FaultInjectingBackend(StorageBackend):
     # commit log: delegated (lease/crash tests target object ops; the
     # commit-log machinery has its own conformance coverage)
     # ------------------------------------------------------------------ #
-    def append_commit(self, record: dict) -> None:
+    def append_commit(self, record: dict[str, Any]) -> None:
         self.inner.append_commit(record)
 
-    def commit_records(self) -> list:
+    def commit_records(self) -> list[dict[str, Any]]:
         return self.inner.commit_records()
 
     def clear_commit_log(self) -> None:
         self.inner.clear_commit_log()
 
-    def compact(self, grace_seconds: float | None = None, index_builder=None) -> dict:
-        kwargs = {"index_builder": index_builder}
+    def compact(
+        self,
+        grace_seconds: float | None = None,
+        index_builder: IndexBuilder | None = None,
+    ) -> dict[str, Any]:
+        kwargs: dict[str, Any] = {"index_builder": index_builder}
         if grace_seconds is not None:
             kwargs["grace_seconds"] = grace_seconds
         return self.inner.compact(**kwargs)

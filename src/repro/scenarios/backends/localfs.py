@@ -26,12 +26,15 @@ import time
 import urllib.parse
 import uuid
 from pathlib import Path, PurePosixPath
+from typing import Any
 
 from repro.scenarios import serialize
 from repro.scenarios.backends.base import (
     DEFAULT_COMPACT_GRACE,
     INDEX_SNAPSHOT_PREFIX,
     SNAPSHOT_PREFIX,
+    IndexBuilder,
+    Pairs,
     StorageBackend,
     _aged_record_keys,
     _empty_compact_report,
@@ -66,7 +69,7 @@ class LocalFSBackend(StorageBackend):
     scheme = "file"
     process_shared = True
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = Path(root).absolute()
         self.root.mkdir(parents=True, exist_ok=True)
         # percent-encode so the URL survives the unquote in
@@ -104,7 +107,7 @@ class LocalFSBackend(StorageBackend):
                 raise
             return False
 
-    def list(self, prefix: str = "") -> list:
+    def list(self, prefix: str = "") -> list[str]:
         # a directory-shaped prefix narrows the scan to that subtree, so
         # per-index snapshot/segment listings don't walk the whole store
         base = self.root
@@ -117,7 +120,7 @@ class LocalFSBackend(StorageBackend):
             else:
                 if not base.is_dir():
                     return []
-        keys = []
+        keys: list[str] = []
         for path in base.rglob("*"):
             if not path.is_file() or path.name.endswith(".tmp"):
                 continue  # in-flight atomic_write temp files are not objects
@@ -136,15 +139,18 @@ class LocalFSBackend(StorageBackend):
     def log_path(self) -> Path:
         return self.root / MANIFEST_LOG
 
-    def append_commit(self, record: dict) -> None:
+    def append_commit(self, record: dict[str, Any]) -> None:
         serialize.append_jsonl(self.log_path, record)
 
-    def _unfolded_segment_pairs(self, folded: dict, seg_keys=None) -> tuple:
+    def _unfolded_segment_pairs(
+        self, folded: dict[str, Any], seg_keys: list[str] | None = None
+    ) -> tuple[Pairs, bool]:
         """``(pairs, racing)``: keyed records of rotated segments not yet in
         a snapshot.  ``racing`` flags a segment that vanished mid-scan — a
         compactor folded it into a snapshot *newer* than the ones already
         merged into ``folded``, so the caller must rescan, not drop it."""
-        pairs, racing = [], False
+        pairs: Pairs = []
+        racing = False
         if seg_keys is None:
             seg_keys = self.list(SEGMENT_PREFIX)
         for seg_key in seg_keys:
@@ -160,7 +166,7 @@ class LocalFSBackend(StorageBackend):
         pairs.sort()  # segment stamp then line number = append order
         return pairs, racing
 
-    def commit_records(self) -> list:
+    def commit_records(self) -> list[dict[str, Any]]:
         # snapshot records keep their folded order (append order survives
         # repeated rotations), then un-folded segments, then the live log.
         # A racing compaction moves records live log -> segment -> snapshot
@@ -170,7 +176,7 @@ class LocalFSBackend(StorageBackend):
         last = 4
         for attempt in range(last + 1):
             snap_keys = self.list(SNAPSHOT_PREFIX)
-            folded: dict = {}
+            folded: dict[str, Any] = {}
             for skey in snap_keys:
                 spairs = read_snapshot(self, skey)
                 if spairs is None:
@@ -218,8 +224,10 @@ class LocalFSBackend(StorageBackend):
             pass  # a racing compactor rotated first
 
     def compact(
-        self, grace_seconds: float = DEFAULT_COMPACT_GRACE, index_builder=None
-    ) -> dict:
+        self,
+        grace_seconds: float = DEFAULT_COMPACT_GRACE,
+        index_builder: IndexBuilder | None = None,
+    ) -> dict[str, Any]:
         self._rotate_log()
         snaps = load_snapshots(self)
         folded = _union(snaps)

@@ -28,7 +28,7 @@ class _Namespace:
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
-        self.objects: dict = {}
+        self.objects: dict[str, tuple[bytes, float]] = {}
         self._clock = 0.0
 
     def now(self) -> float:
@@ -38,7 +38,7 @@ class _Namespace:
         return self._clock
 
 
-_REGISTRY: dict = {}
+_REGISTRY: dict[str, _Namespace] = {}
 _REGISTRY_LOCK = threading.Lock()
 
 
@@ -91,7 +91,7 @@ class MemoryBackend(MergedCommitLog, StorageBackend):
             raise FileNotFoundError(f"{self.url}/{key}")
         return False
 
-    def list(self, prefix: str = "") -> list:
+    def list(self, prefix: str = "") -> list[str]:
         with self._ns.lock:
             return sorted(k for k in self._ns.objects if k.startswith(prefix))
 

@@ -35,6 +35,7 @@ import os
 import re
 import urllib.parse
 from pathlib import Path
+from typing import cast
 
 from repro.scenarios import serialize
 from repro.scenarios.backends.base import MergedCommitLog, StorageBackend, validate_key
@@ -60,7 +61,7 @@ class FakeObjectServer:
     what makes one endpoint directory shareable across processes.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = Path(root).absolute()
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -94,7 +95,7 @@ class FakeObjectServer:
         except FileNotFoundError:
             raise FileNotFoundError(f"s3://{bucket}/{key} (no such object)") from None
 
-    def head_object(self, bucket: str, key: str) -> dict | None:
+    def head_object(self, bucket: str, key: str) -> dict[str, float] | None:
         try:
             stat = self._object_path(bucket, key).stat()
         except FileNotFoundError:
@@ -108,11 +109,11 @@ class FakeObjectServer:
         except FileNotFoundError:
             return False
 
-    def list_objects(self, bucket: str, prefix: str = "") -> list:
+    def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
         bucket_dir = self.root / bucket
         if not bucket_dir.is_dir():
             return []
-        keys = []
+        keys: list[str] = []
         for path in bucket_dir.iterdir():
             if not path.is_file() or path.name.endswith(".tmp"):
                 continue  # skip in-flight atomic_write temp files
@@ -144,16 +145,16 @@ class _Boto3Client:
         self._s3 = boto3.client("s3", endpoint_url=endpoint_url)  # pragma: no cover
 
     # pragma-no-cover block: exercised only against a live S3 service
-    def put_object(self, bucket, key, body):  # pragma: no cover
+    def put_object(self, bucket: str, key: str, body: bytes) -> None:  # pragma: no cover
         self._s3.put_object(Bucket=bucket, Key=key, Body=bytes(body))
 
-    def get_object(self, bucket, key):  # pragma: no cover
+    def get_object(self, bucket: str, key: str) -> bytes:  # pragma: no cover
         try:
-            return self._s3.get_object(Bucket=bucket, Key=key)["Body"].read()
+            return cast(bytes, self._s3.get_object(Bucket=bucket, Key=key)["Body"].read())
         except self._s3.exceptions.NoSuchKey:
             raise FileNotFoundError(f"s3://{bucket}/{key} (no such object)") from None
 
-    def head_object(self, bucket, key):  # pragma: no cover
+    def head_object(self, bucket: str, key: str) -> dict[str, float] | None:  # pragma: no cover
         try:
             head = self._s3.head_object(Bucket=bucket, Key=key)
         except self._s3.exceptions.ClientError as exc:
@@ -166,22 +167,22 @@ class _Boto3Client:
             raise
         return {"size": head["ContentLength"], "mtime": head["LastModified"].timestamp()}
 
-    def delete_object(self, bucket, key):  # pragma: no cover
+    def delete_object(self, bucket: str, key: str) -> bool:  # pragma: no cover
         # S3 DELETE is idempotent and reports nothing, but the backend
         # contract's removed-flag feeds GC reporting — head first
         existed = self.head_object(bucket, key) is not None
         self._s3.delete_object(Bucket=bucket, Key=key)
         return existed
 
-    def list_objects(self, bucket, prefix=""):  # pragma: no cover
-        keys = []
+    def list_objects(self, bucket: str, prefix: str = "") -> list[str]:  # pragma: no cover
+        keys: list[str] = []
         paginator = self._s3.get_paginator("list_objects_v2")
         for page in paginator.paginate(Bucket=bucket, Prefix=prefix):
             keys.extend(item["Key"] for item in page.get("Contents", []))
         return sorted(keys)
 
 
-def client_for_endpoint(endpoint: str):
+def client_for_endpoint(endpoint: str) -> FakeObjectServer | _Boto3Client:
     """Resolve an endpoint string into an object-store client."""
     if endpoint.startswith(("http://", "https://")):
         return _Boto3Client(endpoint)
@@ -258,7 +259,7 @@ class ObjectStoreBackend(MergedCommitLog, StorageBackend):
             raise FileNotFoundError(f"{self.url}/{key}")
         return removed
 
-    def list(self, prefix: str = "") -> list:
+    def list(self, prefix: str = "") -> list[str]:
         # prefixes are not keys (trailing '/' is fine); compose directly
         base = f"{self.prefix}/" if self.prefix else ""
         keys = call_with_retries(

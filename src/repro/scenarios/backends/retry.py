@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import random
 import time
+from typing import Any, Callable, TypeVar
 
 from repro.utils.logging import get_logger
 
@@ -44,6 +45,8 @@ __all__ = [
 ]
 
 logger = get_logger("scenarios.backends.retry")
+
+T = TypeVar("T")
 
 #: environment override for the retry budget (attempts after the first)
 RETRIES_ENV = "REPRO_STORE_RETRIES"
@@ -123,16 +126,16 @@ def is_transient(exc: BaseException) -> bool:
 
 
 def call_with_retries(
-    fn,
-    *args,
+    fn: Callable[..., T],
+    *args: Any,
     op: str = "",
     retries: int | None = None,
     base_delay: float | None = None,
-    classify=is_transient,
-    sleep=time.sleep,
-    rng=random.random,
-    **kwargs,
-):
+    classify: Callable[[BaseException], bool] = is_transient,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Callable[[], float] = random.random,
+    **kwargs: Any,
+) -> T:
     """Call ``fn(*args, **kwargs)``, retrying transient failures.
 
     ``retries``/``base_delay`` default to the environment knobs above.
@@ -147,7 +150,7 @@ def call_with_retries(
     while True:
         try:
             return fn(*args, **kwargs)
-        except Exception as exc:  # noqa: BLE001 - classified and re-raised below
+        except Exception as exc:  # classified and re-raised below
             if attempt >= retries or not classify(exc):
                 raise
             delay = base_delay * (2.0**attempt) * (0.5 + rng())

@@ -57,7 +57,7 @@ def topology_signature(spec: ScenarioSpec):
         if config.adaptive:
             return None
         return _core_signature(spec.build_model(), config)
-    except Exception:  # noqa: BLE001 - a broken spec surfaces when it runs
+    except Exception:  # repro: allow[broad-except] -- a broken spec surfaces when it runs
         return None
 
 
@@ -187,7 +187,7 @@ def solve_batch_and_commit(
                 )
                 store.commit_entry(entry)
                 entries[key] = entry
-    except Exception as exc:  # noqa: BLE001 - one bad batch must not kill the suite
+    except Exception as exc:  # repro: allow[broad-except] -- one bad batch must not kill the suite
         logger.warning("batched solve failed: %s", exc)
         message = "".join(traceback.format_exception_only(type(exc), exc)).strip()
         tb = traceback.format_exc()

@@ -67,11 +67,13 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping, TypeVar
 
 from repro.parallel.tracing import EventRecorder
 from repro.scenarios.backends.retry import call_with_retries
 from repro.scenarios.checkpoint import SolveAbandoned
 from repro.scenarios.runner import schedule_longest_first, solve_and_commit
+from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import ResultsStore, StoreEventSink
 from repro.utils.logging import get_logger
 
@@ -90,10 +92,36 @@ __all__ = [
 
 logger = get_logger("scenarios.lease")
 
+T = TypeVar("T")
+
 #: default lease time-to-live in seconds.  Renewals run every TTL/3, so a
 #: lease survives two missed heartbeats; a dead worker's scenario is
 #: stealable ~TTL after its last renewal.
 DEFAULT_TTL = 30.0
+
+#: environment override for the *default* TTL (callers passing an explicit
+#: ``ttl`` are unaffected).  CI's ``REPRO_STORE_URL=s3://`` matrix leg uses
+#: it to widen leases under real-endpoint latency, where a renewal is a
+#: network round-trip instead of a local write and a tight TTL would make
+#: healthy workers steal from each other.
+TTL_ENV = "REPRO_LEASE_TTL"
+
+
+def default_ttl() -> float:
+    """The effective default lease TTL (:data:`TTL_ENV` or 30s)."""
+    raw = os.environ.get(TTL_ENV, "").strip()
+    if not raw:
+        return DEFAULT_TTL
+    try:
+        value = float(raw)
+    except ValueError:
+        logger.warning("ignoring non-number %s=%r (using %g)", TTL_ENV, raw, DEFAULT_TTL)
+        return DEFAULT_TTL
+    if value <= 0:
+        logger.warning("ignoring non-positive %s=%r (using %g)", TTL_ENV, raw, DEFAULT_TTL)
+        return DEFAULT_TTL
+    return value
+
 
 #: recorded failures before a scenario is parked as permanently failing
 DEFAULT_MAX_ATTEMPTS = 3
@@ -125,7 +153,7 @@ class Lease:
     renewed_at: float
     ttl: float
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "scenario": self.scenario,
             "worker": self.worker,
@@ -136,7 +164,7 @@ class Lease:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Lease":
+    def from_dict(cls, data: Mapping[str, Any]) -> "Lease":
         return cls(
             scenario=str(data["scenario"]),
             worker=str(data["worker"]),
@@ -174,12 +202,13 @@ class LeaseManager:
         self,
         store: ResultsStore,
         worker_id: str,
-        ttl: float = DEFAULT_TTL,
-        clock=time.time,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.time,
         events: EventRecorder | None = None,
         retries: int | None = None,
         retry_base: float | None = None,
     ) -> None:
+        ttl = default_ttl() if ttl is None else ttl
         if ttl <= 0:
             raise ValueError("ttl must be > 0")
         self.store = store
@@ -191,18 +220,18 @@ class LeaseManager:
         self.retry_base = retry_base
 
     # ------------------------------------------------------------------ #
-    def _emit(self, kind: str, scenario: str = "", **detail) -> None:
+    def _emit(self, kind: str, scenario: str = "", **detail: Any) -> None:
         if self.events is not None:
             self.events.emit(kind, self.worker_id, scenario, **detail)
 
-    def _call(self, fn, *args, op: str):
+    def _call(self, fn: Callable[..., T], *args: Any, op: str) -> T:
         # bounded retry + backoff/jitter around every lease op, so one
         # store blip degrades to a stall instead of a spurious abandon
         return call_with_retries(
             fn, *args, op=op, retries=self.retries, base_delay=self.retry_base
         )
 
-    def read(self, spec_or_hash) -> Lease | None:
+    def read(self, spec_or_hash: ScenarioSpec | str) -> Lease | None:
         """The current lease on a scenario, or ``None`` (absent/torn)."""
         key = self.store.lease_key(spec_or_hash)
         try:
@@ -223,7 +252,7 @@ class LeaseManager:
     # ------------------------------------------------------------------ #
     # the protocol
     # ------------------------------------------------------------------ #
-    def try_claim(self, spec_or_hash) -> Lease | None:
+    def try_claim(self, spec_or_hash: ScenarioSpec | str) -> Lease | None:
         """Claim a scenario; returns the held lease, or ``None``.
 
         ``None`` means either the scenario is validly held by a live peer
@@ -292,7 +321,7 @@ class LeaseManager:
         self._emit("released", lease.scenario, epoch=lease.epoch)
         return True
 
-    def heal_completed(self, spec_or_hash) -> bool:
+    def heal_completed(self, spec_or_hash: ScenarioSpec | str) -> bool:
         """Remove a leftover lease from a *completed* scenario.
 
         Heals the crash window between commit and release: once the
@@ -315,7 +344,7 @@ class LeaseManager:
     # ------------------------------------------------------------------ #
     # retry budget and parking
     # ------------------------------------------------------------------ #
-    def attempts(self, spec_or_hash) -> int:
+    def attempts(self, spec_or_hash: ScenarioSpec | str) -> int:
         key = self.store.attempts_key(spec_or_hash)
         try:
             raw = self._call(self.store.backend.get, key, op=f"get {key}")
@@ -323,7 +352,7 @@ class LeaseManager:
         except (FileNotFoundError, ValueError, TypeError):
             return 0
 
-    def record_failure(self, spec_or_hash, error: str) -> int:
+    def record_failure(self, spec_or_hash: ScenarioSpec | str, error: str) -> int:
         """Bump the shared failure count; returns the new count.
 
         Read-modify-write without CAS: two workers recording one failure
@@ -333,7 +362,7 @@ class LeaseManager:
         scenario = self.store.scenario_key(spec_or_hash)
         count = self.attempts(scenario) + 1
         key = self.store.attempts_key(scenario)
-        record = {
+        record: dict[str, Any] = {
             "count": count,
             "last_error": str(error),
             "last_worker": self.worker_id,
@@ -347,15 +376,15 @@ class LeaseManager:
         )
         return count
 
-    def is_parked(self, spec_or_hash) -> bool:
+    def is_parked(self, spec_or_hash: ScenarioSpec | str) -> bool:
         key = self.store.parked_key(spec_or_hash)
         return bool(self._call(self.store.backend.exists, key, op=f"head {key}"))
 
-    def park(self, spec_or_hash, attempts: int, error: str) -> None:
+    def park(self, spec_or_hash: ScenarioSpec | str, attempts: int, error: str) -> None:
         """Mark a scenario permanently failing; workers stop claiming it."""
         scenario = self.store.scenario_key(spec_or_hash)
         key = self.store.parked_key(scenario)
-        record = {
+        record: dict[str, Any] = {
             "worker": self.worker_id,
             "attempts": int(attempts),
             "error": str(error),
@@ -369,7 +398,7 @@ class LeaseManager:
         )
         self._emit("parked", scenario, attempts=attempts, error=str(error))
 
-    def clear_attempts(self, spec_or_hash) -> None:
+    def clear_attempts(self, spec_or_hash: ScenarioSpec | str) -> None:
         """Drop the failure count and any parking (success, or --retry-parked)."""
         for key in (
             self.store.attempts_key(spec_or_hash),
@@ -437,7 +466,7 @@ class LeaseHeartbeat:
                 )
                 self._lost.set()
                 return
-            except Exception as exc:  # noqa: BLE001 - store outage path
+            except Exception as exc:  # repro: allow[broad-except] -- store outage; keep renewing
                 stale = self.manager.clock() - last_ok
                 logger.warning(
                     "renewal of %s failed (%.1fs since last success): %s",
@@ -469,14 +498,18 @@ def store_event_sink(store: ResultsStore, worker_id: str) -> StoreEventSink:
     return StoreEventSink(store, worker_id)
 
 
+def _silent_progress(line: str) -> None:
+    return None
+
+
 @dataclass
 class WorkReport:
     """What one :func:`run_worker` drain accomplished."""
 
     worker_id: str
-    completed: list = field(default_factory=list)  # hash16s this worker committed
-    already_done: list = field(default_factory=list)  # complete before we got there
-    parked: list = field(default_factory=list)
+    completed: list[str] = field(default_factory=list)  # hash16s this worker committed
+    already_done: list[str] = field(default_factory=list)  # complete before we got there
+    parked: list[str] = field(default_factory=list)
     claims: int = 0
     steals: int = 0
     abandoned: int = 0
@@ -500,11 +533,11 @@ class WorkReport:
 
 
 def run_worker(
-    suite,
-    store,
+    suite: Iterable[ScenarioSpec],
+    store: ResultsStore | str,
     *,
     worker_id: str | None = None,
-    ttl: float = DEFAULT_TTL,
+    ttl: float | None = None,
     heartbeat_interval: float | None = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     poll: float = 0.5,
@@ -516,10 +549,10 @@ def run_worker(
     backoff_base: float = 0.5,
     batch_topology: bool = False,
     events: EventRecorder | None = None,
-    clock=time.time,
-    sleep=time.sleep,
-    rng=random.random,
-    progress=None,
+    clock: Callable[[], float] = time.time,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Callable[[], float] = random.random,
+    progress: Callable[[str], object] | None = None,
 ) -> WorkReport:
     """Drain one suite cooperatively: claim -> solve -> commit -> release.
 
@@ -554,18 +587,18 @@ def run_worker(
         events = EventRecorder(clock=clock)
     sink = store_event_sink(store, worker_id)
     events.subscribe(sink)
-    say = progress if progress is not None else (lambda line: None)
+    say: Callable[[str], object] = progress if progress is not None else _silent_progress
     manager = LeaseManager(store, worker_id, ttl=ttl, clock=clock, events=events)
     report = WorkReport(worker_id=worker_id, events=events)
 
     # dedupe by scenario key: identical content is one unit of work
-    specs: dict = {}
+    specs: dict[str, ScenarioSpec] = {}
     for spec in suite:
         specs.setdefault(store.scenario_key(spec), spec)
     if retry_parked:
         for scenario in specs:
             manager.clear_attempts(scenario)
-    done: set = set()
+    done: set[str] = set()
 
     try:
         return _drain(
@@ -598,29 +631,29 @@ def run_worker(
 
 def _drain(
     *,
-    store,
-    specs,
-    done,
-    manager,
-    report,
-    events,
-    worker_id,
-    say,
-    heartbeat_interval,
-    max_attempts,
-    poll,
-    checkpoint_every,
-    point_executor,
-    point_workers,
-    max_claims,
-    backoff_base,
-    batch_topology=False,
-    sleep,
-    rng,
+    store: ResultsStore,
+    specs: dict[str, ScenarioSpec],
+    done: set[str],
+    manager: LeaseManager,
+    report: WorkReport,
+    events: EventRecorder,
+    worker_id: str,
+    say: Callable[[str], object],
+    heartbeat_interval: float | None,
+    max_attempts: int,
+    poll: float,
+    checkpoint_every: int,
+    point_executor: str,
+    point_workers: int,
+    max_claims: int | None,
+    backoff_base: float,
+    batch_topology: bool = False,
+    sleep: Callable[[float], None],
+    rng: Callable[[], float],
 ) -> WorkReport:
     """The claim -> solve -> commit -> release loop of :func:`run_worker`."""
     while True:
-        pending = []
+        pending: list[ScenarioSpec] = []
         for scenario, spec in specs.items():
             if scenario in done:
                 continue
@@ -758,18 +791,18 @@ def _drain(
 
 def _work_group(
     *,
-    group,
-    store,
-    manager,
-    report,
-    events,
-    worker_id,
-    say,
-    done,
-    heartbeat_interval,
-    max_attempts,
-    checkpoint_every,
-    max_claims,
+    group: list[ScenarioSpec],
+    store: ResultsStore,
+    manager: LeaseManager,
+    report: WorkReport,
+    events: EventRecorder,
+    worker_id: str,
+    say: Callable[[str], object],
+    done: set[str],
+    heartbeat_interval: float | None,
+    max_attempts: int,
+    checkpoint_every: int,
+    max_claims: int | None,
 ) -> bool:
     """Claim and batch-solve one topology group; returns whether we progressed.
 
@@ -782,8 +815,8 @@ def _work_group(
     """
     from repro.scenarios.batching import solve_batch_and_commit
 
-    claimed = []
-    heartbeats = []
+    claimed: list[ScenarioSpec] = []
+    heartbeats: list[LeaseHeartbeat] = []
     progressed = False
     for spec in group:
         scenario = store.scenario_key(spec)

@@ -35,6 +35,7 @@ from collections import Counter
 from datetime import datetime, timezone
 
 from repro.parallel.tracing import TraceRecorder
+from repro.scenarios.backends.retry import call_with_retries
 from repro.scenarios.store import ResultsStore, parse_event_lines
 
 __all__ = [
@@ -86,7 +87,9 @@ class EventTailer:
         fresh = []
         for key in self.store.event_keys():
             try:
-                raw = self.store.backend.get(key)
+                # retry-wrapped like every other polling read: one transient
+                # blip must not abort a live --follow tail mid-drain
+                raw = call_with_retries(self.store.backend.get, key, op=f"get {key}")
             except FileNotFoundError:
                 continue  # deleted between list and get
             offset = self.offsets.get(key, 0)

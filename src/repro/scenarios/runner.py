@@ -226,7 +226,7 @@ def solve_and_commit(
         # (user Ctrl-C) propagates and stops the whole batch — the on-disk
         # checkpoints make the next identical invocation resume
         entry = store.failure_entry(spec, "interrupted", time.perf_counter() - t0, str(exc))
-    except Exception as exc:  # noqa: BLE001 - one bad scenario must not kill the batch
+    except Exception as exc:  # repro: allow[broad-except] -- failure recorded; batch continues
         logger.warning("scenario %s failed: %s", spec.name, exc)
         entry = store.failure_entry(
             spec,

@@ -27,6 +27,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
@@ -60,7 +61,7 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def is_blob_target(target) -> bool:
+def is_blob_target(target: object) -> bool:
     """Whether a save/load target is a storage-backend blob handle.
 
     Every writer/reader here accepts either a filesystem path or a
@@ -80,7 +81,9 @@ def is_blob_target(target) -> bool:
 # --------------------------------------------------------------------------- #
 # low-level npz + embedded-JSON helpers
 # --------------------------------------------------------------------------- #
-def atomic_write(path, write_fn, text: bool = False) -> None:
+def atomic_write(
+    path: str | os.PathLike[str], write_fn: Callable[[Any], object], text: bool = False
+) -> None:
     """Write a file atomically: ``write_fn(fh)`` into a temp file, then replace.
 
     The temp file gets a *unique* name (``mkstemp``) in the target
@@ -93,6 +96,8 @@ def atomic_write(path, write_fn, text: bool = False) -> None:
     fd, tmp_name = tempfile.mkstemp(prefix=path.name + ".", suffix=".tmp", dir=path.parent)
     tmp = Path(tmp_name)
     try:
+        # repro: allow[atomic-write] -- this IS the atomic writer: the fd is a
+        # unique temp file and os.replace below is the only publication step
         with os.fdopen(fd, "w" if text else "wb", **({"encoding": "utf-8"} if text else {})) as fh:
             write_fn(fh)
         os.replace(tmp, path)
@@ -101,7 +106,7 @@ def atomic_write(path, write_fn, text: bool = False) -> None:
             tmp.unlink()
 
 
-def append_jsonl(path, record: dict) -> None:
+def append_jsonl(path: str | os.PathLike[str], record: dict[str, Any]) -> None:
     """Append one JSON record to a JSONL file with a single ``O_APPEND`` write.
 
     On local POSIX filesystems ``O_APPEND`` makes the seek-to-end and the
@@ -124,7 +129,7 @@ def append_jsonl(path, record: dict) -> None:
         os.close(fd)
 
 
-def read_jsonl(path) -> list:
+def read_jsonl(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
     """Read a JSONL file leniently: undecodable lines are skipped.
 
     A torn trailing line can only appear if a writer died mid-``write``
@@ -135,7 +140,7 @@ def read_jsonl(path) -> list:
     path = Path(path)
     if not path.exists():
         return []
-    records = []
+    records: list[dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -153,12 +158,18 @@ def _atomic_savez(path, arrays: dict, meta: dict) -> None:
     meta.setdefault("format_version", FORMAT_VERSION)
 
     def write(fh):
-        np.savez_compressed(fh, __meta__=np.array(json.dumps(meta)), **arrays)
+        # sort_keys keeps the embedded metadata bytes independent of dict
+        # insertion order, so equal results serialize bit-identically
+        # repro: allow[atomic-write] -- writes into the atomic temp handle /
+        # in-memory buffer handed in below, never into a final path
+        np.savez_compressed(fh, __meta__=np.array(json.dumps(meta, sort_keys=True)), **arrays)
 
     if is_blob_target(path):
         buf = io.BytesIO()
         write(buf)
-        path.write_bytes(buf.getvalue())  # the backend's put is the atomic step
+        # repro: allow[atomic-write] -- BlobRef.write_bytes is a wholesale
+        # backend put: the object appears all-or-nothing on every backend
+        path.write_bytes(buf.getvalue())
     else:
         atomic_write(path, write)
 

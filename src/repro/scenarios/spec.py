@@ -29,7 +29,7 @@ import inspect
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -59,17 +59,17 @@ EXPERIMENT_KINDS = ("table1", "table2", "fig7", "fig8", "fig9", "ablations")
 KNOWN_KINDS = ("solve",) + EXPERIMENT_KINDS
 
 
-def _calibration_keys() -> frozenset:
+def _calibration_keys() -> frozenset[str]:
     from repro.olg.calibration import small_calibration
 
     return frozenset(inspect.signature(small_calibration).parameters)
 
 
-def _solver_keys() -> frozenset:
+def _solver_keys() -> frozenset[str]:
     return frozenset(f.name for f in dataclasses.fields(TimeIterationConfig))
 
 
-def _plain(value):
+def _plain(value: object) -> Any:
     """Convert numpy scalars/arrays and nested containers to JSON-able data."""
     if isinstance(value, (np.integer,)):
         return int(value)
@@ -88,21 +88,21 @@ def _plain(value):
     raise TypeError(f"scenario parameter of unsupported type {type(value).__name__}: {value!r}")
 
 
-def canonical_json(data) -> str:
+def canonical_json(data: object) -> str:
     """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
     return json.dumps(_plain(data), sort_keys=True, separators=(",", ":"))
 
 
 def flatten_index_fields(
-    calibration: Mapping, solver: Mapping, params: Mapping
-) -> dict:
+    calibration: Mapping[str, Any], solver: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
     """Dotted-key flat dict of the spec fields the secondary index covers.
 
     Only scalar leaves are indexable — a list- or dict-valued override
     (e.g. an explicit shock grid) is dropped rather than flattened, since
     range predicates over it would be meaningless.
     """
-    flat: dict = {}
+    flat: dict[str, Any] = {}
     for group, mapping in (
         ("calibration", calibration),
         ("solver", solver),
@@ -141,10 +141,10 @@ class ScenarioSpec:
 
     name: str
     kind: str = "solve"
-    calibration: dict = field(default_factory=dict)
-    solver: dict = field(default_factory=dict)
-    params: dict = field(default_factory=dict)
-    tags: tuple = ()
+    calibration: dict[str, Any] = field(default_factory=dict)
+    solver: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -180,7 +180,7 @@ class ScenarioSpec:
         same computation share a hash (and therefore stored results), no
         matter what they are called.
         """
-        payload = {
+        payload: dict[str, Any] = {
             "kind": self.kind,
             "calibration": self.calibration,
             "solver": self.solver,
@@ -221,7 +221,7 @@ class ScenarioSpec:
     # ------------------------------------------------------------------ #
     # construction of the runnable objects
     # ------------------------------------------------------------------ #
-    def build_calibration(self):
+    def build_calibration(self) -> Any:
         """Instantiate the OLG calibration (solve scenarios)."""
         from repro.olg.calibration import small_calibration
 
@@ -229,7 +229,7 @@ class ScenarioSpec:
             raise ValueError(f"{self.kind!r} scenarios have no calibration")
         return small_calibration(**self.calibration)
 
-    def build_model(self):
+    def build_model(self) -> Any:
         """Instantiate the OLG model (solve scenarios)."""
         from repro.olg.model import OLGModel
 
@@ -244,7 +244,7 @@ class ScenarioSpec:
     # ------------------------------------------------------------------ #
     # serialization and derivation
     # ------------------------------------------------------------------ #
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "kind": self.kind,
@@ -255,7 +255,7 @@ class ScenarioSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         return cls(
             name=data["name"],
             kind=data.get("kind", "solve"),
@@ -268,9 +268,9 @@ class ScenarioSpec:
     def with_overrides(
         self,
         name: str | None = None,
-        calibration: Mapping | None = None,
-        solver: Mapping | None = None,
-        params: Mapping | None = None,
+        calibration: Mapping[str, Any] | None = None,
+        solver: Mapping[str, Any] | None = None,
+        params: Mapping[str, Any] | None = None,
         tags: Sequence[str] | None = None,
     ) -> "ScenarioSpec":
         """Derived spec with selected fields merged over this one."""
@@ -283,7 +283,7 @@ class ScenarioSpec:
             tags=tuple(tags) if tags is not None else self.tags,
         )
 
-    def index_fields(self) -> dict:
+    def index_fields(self) -> dict[str, Any]:
         """Dotted-key flat view of the indexable spec fields.
 
         These land in the queryable secondary index (see
@@ -302,7 +302,7 @@ class ScenarioSpec:
         return f"{self.name:<32} {self.kind:<9} {self.short_hash}  {detail}{tags}"
 
 
-def _axis_token(key: str, value) -> str:
+def _axis_token(key: str, value: object) -> str:
     leaf = key.rsplit(".", 1)[-1]
     if isinstance(value, float):
         return f"{leaf}={value:g}"
@@ -314,7 +314,7 @@ class ScenarioSuite:
     """An ordered collection of scenarios run (and stored) together."""
 
     name: str
-    scenarios: list = field(default_factory=list)
+    scenarios: list[ScenarioSpec] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -333,7 +333,7 @@ class ScenarioSuite:
     def __getitem__(self, i: int) -> ScenarioSpec:
         return self.scenarios[i]
 
-    def hashes(self) -> list:
+    def hashes(self) -> list[str]:
         return [s.content_hash() for s in self.scenarios]
 
     def describe(self) -> str:
@@ -347,7 +347,7 @@ class ScenarioSuite:
         cls,
         name: str,
         base: ScenarioSpec,
-        axes: Mapping[str, Sequence],
+        axes: Mapping[str, Sequence[Any]],
         tags: Sequence[str] = (),
     ) -> "ScenarioSuite":
         """Cartesian-product sweep over dotted parameter axes.
@@ -369,10 +369,10 @@ class ScenarioSuite:
                 )
             if not values:
                 raise ValueError(f"axis {key!r} has no values")
-        scenarios = []
+        scenarios: list[ScenarioSpec] = []
         for combo in itertools.product(*(values for _, values in axis_items)):
-            overrides: dict[str, dict] = {"calibration": {}, "solver": {}, "params": {}}
-            tokens = []
+            overrides: dict[str, dict[str, Any]] = {"calibration": {}, "solver": {}, "params": {}}
+            tokens: list[str] = []
             for (key, _values), value in zip(axis_items, combo):
                 group, leaf = key.split(".", 1)
                 overrides[group][leaf] = value
@@ -392,10 +392,10 @@ class ScenarioSuite:
 # --------------------------------------------------------------------------- #
 # named presets
 # --------------------------------------------------------------------------- #
-def _base_solve(name: str, **overrides) -> ScenarioSpec:
-    calibration = {"num_generations": 5, "num_states": 2, "beta": 0.85}
+def _base_solve(name: str, **overrides: Any) -> ScenarioSpec:
+    calibration: dict[str, Any] = {"num_generations": 5, "num_states": 2, "beta": 0.85}
     calibration.update(overrides.pop("calibration", {}))
-    solver = {"grid_level": 2, "tolerance": 2e-3, "max_iterations": 25}
+    solver: dict[str, Any] = {"grid_level": 2, "tolerance": 2e-3, "max_iterations": 25}
     solver.update(overrides.pop("solver", {}))
     return ScenarioSpec(name=name, calibration=calibration, solver=solver, **overrides)
 
@@ -506,7 +506,7 @@ _PRESETS: dict[str, Callable[[], ScenarioSuite]] = {
 }
 
 
-def preset_names() -> list:
+def preset_names() -> list[str]:
     return sorted(_PRESETS)
 
 

@@ -77,6 +77,7 @@ import re
 import time
 from datetime import datetime, timezone
 from pathlib import Path, PurePosixPath
+from typing import TYPE_CHECKING, Any, Callable, Iterable, cast
 
 import numpy as np
 
@@ -91,8 +92,12 @@ from repro.scenarios.backends import (
     is_store_url,
     load_index_union,
 )
+from repro.scenarios.backends.retry import call_with_retries
 from repro.scenarios.spec import ScenarioSpec, flatten_index_fields
 from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:
+    from repro.parallel.tracing import Event
 
 __all__ = [
     "ResultsStore",
@@ -135,7 +140,7 @@ _INDEX_FINGERPRINT = ("status", "wall_time", "created_at_unix")
 _PREDICATE_OPS = ("<=", ">=", "!=", "==", "<", ">", "=")
 
 
-def parse_predicate(text: str) -> tuple:
+def parse_predicate(text: str) -> tuple[str, str, Any]:
     """Parse ``"field<op>value"`` into ``(field, op, value)``.
 
     ``value`` is decoded as JSON when possible (numbers, booleans,
@@ -162,7 +167,7 @@ def parse_predicate(text: str) -> tuple:
     )
 
 
-def _resolve_predicate_field(record: dict, field: str) -> str | None:
+def _resolve_predicate_field(record: dict[str, Any], field: str) -> str | None:
     """The record key a predicate field names, or ``None`` when absent.
 
     Exact (dotted) keys win; a bare field like ``tau_labor`` is tried
@@ -184,7 +189,7 @@ def _resolve_predicate_field(record: dict, field: str) -> str | None:
     return present[0] if present else None
 
 
-def _predicate_matches(record: dict, field: str, op: str, value) -> bool:
+def _predicate_matches(record: dict[str, Any], field: str, op: str, value: Any) -> bool:
     key = _resolve_predicate_field(record, field)
     if key is None:
         return False
@@ -213,7 +218,7 @@ def _predicate_matches(record: dict, field: str, op: str, value) -> bool:
     return actual >= value
 
 
-def _winning_records(records) -> dict:
+def _winning_records(records: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
     """hash -> the log record whose entry state should be live.
 
     Mirrors the store's no-downgrade commit rule: per hash the last
@@ -221,8 +226,8 @@ def _winning_records(records) -> dict:
     overwrites completed work), and non-completed records only stand in
     while no completed record exists.
     """
-    winners: dict = {}
-    completed: set = set()
+    winners: dict[str, dict[str, Any]] = {}
+    completed: set[str] = set()
     for rec in records:
         h = rec.get("spec_hash")
         if not h:
@@ -235,7 +240,7 @@ def _winning_records(records) -> dict:
     return winners
 
 
-def _provenance() -> dict:
+def _provenance() -> dict[str, Any]:
     import repro
 
     return {
@@ -248,7 +253,7 @@ def _provenance() -> dict:
     }
 
 
-def _json_bytes(data) -> bytes:
+def _json_bytes(data: object) -> bytes:
     return (json.dumps(data, indent=2, sort_keys=True) + "\n").encode("utf-8")
 
 
@@ -261,7 +266,11 @@ class ResultsStore:
     LEASE_PREFIX = "leases"
     EVENTS_PREFIX = "events"
 
-    def __init__(self, root, auto_compact_tail: int | None = None) -> None:
+    def __init__(
+        self,
+        root: StorageBackend | str | os.PathLike[str],
+        auto_compact_tail: int | None = None,
+    ) -> None:
         """Open a store on a backend, URL, or plain local path.
 
         ``root`` may be a :class:`StorageBackend` instance, a store URL
@@ -307,7 +316,9 @@ class ResultsStore:
         self._migrate_legacy_manifest()
 
     @classmethod
-    def open(cls, url, **kwargs) -> "ResultsStore":
+    def open(
+        cls, url: StorageBackend | str | os.PathLike[str], **kwargs: Any
+    ) -> "ResultsStore":
         """Open a store from a URL (or plain path); see :meth:`__init__`."""
         return cls(url, **kwargs)
 
@@ -320,71 +331,71 @@ class ResultsStore:
     # keys and refs (backend-agnostic)
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _hash_of(spec_or_hash) -> str:
+    def _hash_of(spec_or_hash: ScenarioSpec | str) -> str:
         if isinstance(spec_or_hash, ScenarioSpec):
             return spec_or_hash.content_hash()
         return str(spec_or_hash)
 
-    def scenario_key(self, spec_or_hash) -> str:
+    def scenario_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return self._hash_of(spec_or_hash)[:_DIR_HASH_CHARS]
 
-    def entry_key(self, spec_or_hash) -> str:
+    def entry_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.scenario_key(spec_or_hash)}/{self.ENTRY_FILE}"
 
-    def result_key(self, spec_or_hash) -> str:
+    def result_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.scenario_key(spec_or_hash)}/result.npz"
 
-    def payload_key(self, spec_or_hash) -> str:
+    def payload_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.scenario_key(spec_or_hash)}/payload.json"
 
-    def checkpoint_key(self, spec_or_hash) -> str:
+    def checkpoint_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.scenario_key(spec_or_hash)}/checkpoint.npz"
 
-    def spec_key(self, spec_or_hash) -> str:
+    def spec_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.scenario_key(spec_or_hash)}/spec.json"
 
     # lease-protocol keys live under leases/<hash16>/ — two slashes, so
     # _entry_keys' single-slash filter and the per-scenario prefix scans
     # never mistake coordination state for scenario data
-    def lease_key(self, spec_or_hash) -> str:
+    def lease_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.LEASE_PREFIX}/{self.scenario_key(spec_or_hash)}/lease.json"
 
-    def attempts_key(self, spec_or_hash) -> str:
+    def attempts_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.LEASE_PREFIX}/{self.scenario_key(spec_or_hash)}/attempts.json"
 
-    def parked_key(self, spec_or_hash) -> str:
+    def parked_key(self, spec_or_hash: ScenarioSpec | str) -> str:
         return f"{self.LEASE_PREFIX}/{self.scenario_key(spec_or_hash)}/parked.json"
 
-    def entry_ref(self, spec_or_hash) -> BlobRef:
+    def entry_ref(self, spec_or_hash: ScenarioSpec | str) -> BlobRef:
         return self.backend.ref(self.entry_key(spec_or_hash))
 
-    def result_ref(self, spec_or_hash) -> BlobRef:
+    def result_ref(self, spec_or_hash: ScenarioSpec | str) -> BlobRef:
         return self.backend.ref(self.result_key(spec_or_hash))
 
-    def payload_ref(self, spec_or_hash) -> BlobRef:
+    def payload_ref(self, spec_or_hash: ScenarioSpec | str) -> BlobRef:
         return self.backend.ref(self.payload_key(spec_or_hash))
 
-    def checkpoint_ref(self, spec_or_hash) -> BlobRef:
+    def checkpoint_ref(self, spec_or_hash: ScenarioSpec | str) -> BlobRef:
         return self.backend.ref(self.checkpoint_key(spec_or_hash))
 
-    def spec_ref(self, spec_or_hash) -> BlobRef:
+    def spec_ref(self, spec_or_hash: ScenarioSpec | str) -> BlobRef:
         return self.backend.ref(self.spec_key(spec_or_hash))
 
-    def lease_ref(self, spec_or_hash) -> BlobRef:
+    def lease_ref(self, spec_or_hash: ScenarioSpec | str) -> BlobRef:
         return self.backend.ref(self.lease_key(spec_or_hash))
 
     # ------------------------------------------------------------------ #
     # lease/coordination state (read side; the protocol itself lives in
     # repro.scenarios.lease)
     # ------------------------------------------------------------------ #
-    def leases(self) -> list:
+    def leases(self) -> list[dict[str, Any]]:
         """All live lease records (``leases/<hash16>/lease.json``), parsed.
 
         Each item is the lease JSON plus a ``scenario`` field carrying the
         hash16 the key encodes.  Unreadable/torn records are skipped — a
         lease vanishing mid-scan is normal operation, not corruption.
         """
-        out = []
+        out: list[dict[str, Any]] = []
         for key in self.backend.list(f"{self.LEASE_PREFIX}/"):
             if not key.endswith("/lease.json"):
                 continue
@@ -396,9 +407,9 @@ class ResultsStore:
             out.append(record)
         return sorted(out, key=lambda r: r["scenario"])
 
-    def parked(self) -> list:
+    def parked(self) -> list[dict[str, Any]]:
         """All parked-scenario records (retry budget exhausted), parsed."""
-        out = []
+        out: list[dict[str, Any]] = []
         for key in self.backend.list(f"{self.LEASE_PREFIX}/"):
             if not key.endswith("/parked.json"):
                 continue
@@ -413,7 +424,7 @@ class ResultsStore:
     # ------------------------------------------------------------------ #
     # structured events (read side; emitted through StoreEventSink)
     # ------------------------------------------------------------------ #
-    def event_keys(self) -> list:
+    def event_keys(self) -> list[str]:
         """Keys of every per-worker event log (``events/<worker>.jsonl``)."""
         return [
             key
@@ -421,14 +432,14 @@ class ResultsStore:
             if key.endswith(".jsonl")
         ]
 
-    def worker_events(self) -> dict:
+    def worker_events(self) -> dict[str, list[dict[str, Any]]]:
         """worker id -> parsed event dicts, in emission order per worker.
 
         Complete JSONL lines only: a torn trailing line (a writer racing
         this read on a non-atomic transport) is silently skipped — the
         next read sees it whole.
         """
-        out: dict = {}
+        out: dict[str, list[dict[str, Any]]] = {}
         for key in self.event_keys():
             try:
                 raw = self.backend.get(key)
@@ -438,7 +449,7 @@ class ResultsStore:
             out[worker] = parse_event_lines(raw)
         return out
 
-    def events(self) -> list:
+    def events(self) -> list[dict[str, Any]]:
         """Every persisted event across all workers, time-ordered.
 
         The merged solve-progress + lease-protocol feed ``status`` and
@@ -446,7 +457,7 @@ class ResultsStore:
         then per-worker emission order as tiebreaks), so interleaved
         workers read as one chronological story.
         """
-        merged = []
+        merged: list[tuple[float, str, int, dict[str, Any]]] = []
         for worker, events in sorted(self.worker_events().items()):
             for seq, event in enumerate(events):
                 merged.append((float(event.get("timestamp", 0.0)), worker, seq, event))
@@ -464,22 +475,22 @@ class ResultsStore:
             )
         return self.root / key
 
-    def scenario_dir(self, spec_or_hash) -> Path:
+    def scenario_dir(self, spec_or_hash: ScenarioSpec | str) -> Path:
         return self._path(self.scenario_key(spec_or_hash))
 
-    def entry_path(self, spec_or_hash) -> Path:
+    def entry_path(self, spec_or_hash: ScenarioSpec | str) -> Path:
         return self._path(self.entry_key(spec_or_hash))
 
-    def result_path(self, spec_or_hash) -> Path:
+    def result_path(self, spec_or_hash: ScenarioSpec | str) -> Path:
         return self._path(self.result_key(spec_or_hash))
 
-    def payload_path(self, spec_or_hash) -> Path:
+    def payload_path(self, spec_or_hash: ScenarioSpec | str) -> Path:
         return self._path(self.payload_key(spec_or_hash))
 
-    def checkpoint_path(self, spec_or_hash) -> Path:
+    def checkpoint_path(self, spec_or_hash: ScenarioSpec | str) -> Path:
         return self._path(self.checkpoint_key(spec_or_hash))
 
-    def spec_path(self, spec_or_hash) -> Path:
+    def spec_path(self, spec_or_hash: ScenarioSpec | str) -> Path:
         return self._path(self.spec_key(spec_or_hash))
 
     @property
@@ -515,7 +526,7 @@ class ResultsStore:
     # ------------------------------------------------------------------ #
     # committing and indexing entries
     # ------------------------------------------------------------------ #
-    def commit_entry(self, entry: dict) -> dict:
+    def commit_entry(self, entry: dict[str, Any]) -> dict[str, Any]:
         """Commit one entry: atomic ``entry.json`` put + one log append.
 
         Safe to call from any number of writers; per hash the last
@@ -527,7 +538,7 @@ class ResultsStore:
         entry = dict(entry)
         if entry.get("status") != "completed":
             existing = self.entry(entry["spec_hash"])
-            if self.entry_is_complete(existing):
+            if existing is not None and self.entry_is_complete(existing):
                 # never downgrade: a failed/interrupted re-run (forced, or a
                 # racing second host hitting a transient error) must not
                 # hide a completed entry whose result is still readable
@@ -539,17 +550,17 @@ class ResultsStore:
         )
         return entry
 
-    def commit_entries(self, entries: list) -> dict:
+    def commit_entries(self, entries: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
         """Commit many entries; returns the index mapping afterwards."""
         for entry in entries:
             self.commit_entry(entry)
         return self.index()
 
-    def log_records(self) -> list:
+    def log_records(self) -> list[dict[str, Any]]:
         """The raw commit log, oldest first (may contain duplicates)."""
         return self.backend.commit_records()
 
-    def known_hashes(self) -> list:
+    def known_hashes(self) -> list[str]:
         """Distinct spec hashes in log order of first appearance."""
         seen: dict[str, None] = {}
         for rec in self.log_records():
@@ -558,7 +569,7 @@ class ResultsStore:
                 seen.setdefault(h, None)
         return list(seen)
 
-    def index(self) -> dict:
+    def index(self) -> dict[str, dict[str, Any]]:
         """Rebuild the hash -> entry index from the log + entry objects.
 
         The log supplies the hash set cheaply (for merged-log backends
@@ -571,14 +582,14 @@ class ResultsStore:
         best-effort housekeeping that never fails the read itself.
         """
         self._maybe_auto_compact()
-        index = {}
+        index: dict[str, dict[str, Any]] = {}
         for h in self.known_hashes():
             entry = self.entry(h)
             if entry is not None:
                 index[h] = entry
         return index
 
-    def compact(self, grace_seconds: float | None = None) -> dict:
+    def compact(self, grace_seconds: float | None = None) -> dict[str, Any]:
         """Fold the commit log into one immutable snapshot checkpoint.
 
         After a compaction, reading the log costs one snapshot object
@@ -595,7 +606,7 @@ class ResultsStore:
         sidecar (see :meth:`query`), so filtered lookups on a compacted
         store never open per-entry objects.
         """
-        kwargs: dict = {"index_builder": self._compaction_index_builder}
+        kwargs: dict[str, Any] = {"index_builder": self._compaction_index_builder}
         if grace_seconds is not None:
             kwargs["grace_seconds"] = float(grace_seconds)
         return self.backend.compact(**kwargs)
@@ -623,10 +634,10 @@ class ResultsStore:
                     report["total_records"],
                     report["snapshot"],
                 )
-        except Exception as exc:  # noqa: BLE001 - housekeeping must not fail reads
+        except Exception as exc:  # repro: allow[broad-except] -- housekeeping must not fail reads
             logger.warning("auto-compaction of %s failed: %s", self.url, exc)
 
-    def _entry_keys(self) -> list:
+    def _entry_keys(self) -> list[str]:
         """All ``<hash16>/entry.json`` keys actually present on the backend."""
         return [
             key
@@ -634,7 +645,7 @@ class ResultsStore:
             if key.count("/") == 1 and key.endswith(f"/{self.ENTRY_FILE}")
         ]
 
-    def reindex(self) -> dict:
+    def reindex(self) -> dict[str, dict[str, Any]]:
         """Self-heal the log from the ``entry.json`` objects, then index.
 
         Covers the crash window between an entry write and its log append
@@ -655,16 +666,18 @@ class ResultsStore:
                 logged.add(h)
         return self.index()
 
-    def entries(self) -> list:
+    def entries(self) -> list[dict[str, Any]]:
         """All committed entries, oldest first."""
         entries = list(self.index().values())
         entries.sort(key=lambda e: e.get("created_at_unix", 0.0))
         return entries
 
-    def entry(self, spec_or_hash) -> dict | None:
+    def entry(self, spec_or_hash: ScenarioSpec | str) -> dict[str, Any] | None:
         """The committed entry for this hash (one object read, no log scan)."""
         try:
-            return json.loads(self.backend.get(self.entry_key(spec_or_hash)))
+            return cast(
+                "dict[str, Any]", json.loads(self.backend.get(self.entry_key(spec_or_hash)))
+            )
         except FileNotFoundError:
             return None
         except json.JSONDecodeError:
@@ -700,7 +713,7 @@ class ResultsStore:
             )
         return matches[0]
 
-    def wall_times(self) -> dict:
+    def wall_times(self) -> dict[str, float]:
         """hash -> most recent recorded wall time, from the secondary index.
 
         Fed to the runner's longest-first scheduler.  A *completed*
@@ -712,7 +725,7 @@ class ResultsStore:
         :meth:`index_records` without hydration, so no ``entry.json``
         object is ever opened for this.
         """
-        times: dict = {}
+        times: dict[str, float] = {}
         for h, rec in self.index_records(hydrate=False).items():
             wall = rec.get("wall_time")
             if isinstance(wall, (int, float)) and not isinstance(wall, bool) and wall > 0:
@@ -722,7 +735,7 @@ class ResultsStore:
     # ------------------------------------------------------------------ #
     # queryable secondary index
     # ------------------------------------------------------------------ #
-    def build_index_record(self, spec_or_hash) -> dict | None:
+    def build_index_record(self, spec_or_hash: ScenarioSpec | str) -> dict[str, Any] | None:
         """The full index record of one hash, built from its ``entry.json``.
 
         Carries the log fields, ``tags``, the result aggregates in
@@ -735,7 +748,7 @@ class ResultsStore:
         entry = self.entry(spec_or_hash)
         if entry is None:
             return None
-        record = {k: entry.get(k) for k in _LOG_FIELDS}
+        record: dict[str, Any] = {k: entry.get(k) for k in _LOG_FIELDS}
         record["tags"] = list(entry.get("tags", ()))
         for key in _INDEX_AGGREGATES:
             if key in entry:
@@ -755,7 +768,7 @@ class ResultsStore:
                 pass  # spec object gone; index the entry-level fields only
         return record
 
-    def index_records(self, hydrate: bool = True) -> dict:
+    def index_records(self, hydrate: bool = True) -> dict[str, dict[str, Any]]:
         """hash -> secondary-index record, in O(snapshot + tail) log reads.
 
         The union of the ``index-snapshots/`` sidecars covers everything
@@ -771,7 +784,7 @@ class ResultsStore:
         """
         self._maybe_auto_compact()
         sidecar, _keys = load_index_union(self.backend)
-        out: dict = {}
+        out: dict[str, dict[str, Any]] = {}
         for h, rec in _winning_records(self.log_records()).items():
             base = sidecar.get(h)
             if isinstance(base, dict) and all(
@@ -790,7 +803,12 @@ class ResultsStore:
                 out[h] = {**(base if isinstance(base, dict) else {}), **thin}
         return out
 
-    def query(self, where=(), status: str | None = None, hash_prefix: str | None = None) -> list:
+    def query(
+        self,
+        where: Iterable[str | tuple[str, str, Any]] = (),
+        status: str | None = None,
+        hash_prefix: str | None = None,
+    ) -> list[dict[str, Any]]:
         """Filtered index records (the ``repro-scenarios query`` engine).
 
         ``where`` is a conjunction of predicates — ``"field<op>value"``
@@ -803,9 +821,11 @@ class ResultsStore:
         tail) backend reads — no per-entry objects are opened unless a
         tail commit is newer than the last fold.
         """
-        predicates = [parse_predicate(w) if isinstance(w, str) else tuple(w) for w in where]
+        predicates = [
+            parse_predicate(w) if isinstance(w, str) else (w[0], w[1], w[2]) for w in where
+        ]
         hash_prefix = str(hash_prefix) if hash_prefix else ""
-        matches = []
+        matches: list[dict[str, Any]] = []
         for h, rec in self.index_records(hydrate=True).items():
             if not h.startswith(hash_prefix):
                 continue
@@ -816,7 +836,9 @@ class ResultsStore:
         matches.sort(key=lambda r: (r.get("created_at_unix") or 0.0, r.get("spec_hash") or ""))
         return matches
 
-    def _compaction_index_builder(self, prev: dict, records: list) -> dict:
+    def _compaction_index_builder(
+        self, prev: dict[str, Any], records: list[Any]
+    ) -> dict[str, Any]:
         """``index_builder`` hook the backends call inside :meth:`compact`.
 
         ``prev`` is the union of the existing sidecars, ``records`` the
@@ -826,7 +848,7 @@ class ResultsStore:
         vanished keeps its previous record so a racing delete never
         shrinks the index mid-fold.
         """
-        out: dict = {}
+        out: dict[str, Any] = {}
         for h, rec in _winning_records(records).items():
             base = prev.get(h)
             if isinstance(base, dict) and all(
@@ -841,7 +863,7 @@ class ResultsStore:
                 out[h] = base
         return out
 
-    def entry_is_complete(self, entry: dict | None) -> bool:
+    def entry_is_complete(self, entry: dict[str, Any] | None) -> bool:
         """Whether an entry denotes a completed, readable result.
 
         Takes the entry (possibly from a caller-held index snapshot, so
@@ -858,7 +880,7 @@ class ResultsStore:
         )
         return self.backend.exists(target)
 
-    def has(self, spec_or_hash) -> bool:
+    def has(self, spec_or_hash: ScenarioSpec | str) -> bool:
         """Whether a *completed* result for this spec hash is stored."""
         return self.entry_is_complete(self.entry(spec_or_hash))
 
@@ -871,7 +893,7 @@ class ResultsStore:
             _json_bytes({"spec_hash": spec.content_hash(), **spec.to_dict()}),
         )
 
-    def _base_entry(self, spec: ScenarioSpec, status: str, wall_time: float) -> dict:
+    def _base_entry(self, spec: ScenarioSpec, status: str, wall_time: float) -> dict[str, Any]:
         return {
             "spec_hash": spec.content_hash(),
             "name": spec.name,
@@ -895,7 +917,7 @@ class ResultsStore:
         result: TimeIterationResult,
         wall_time: float,
         resumed: bool = False,
-    ) -> dict:
+    ) -> dict[str, Any]:
         """Persist a solve result + spec and build its manifest entry.
 
         The entry is *returned, not committed* — the scenario runner's
@@ -927,7 +949,9 @@ class ResultsStore:
         )
         return entry
 
-    def write_payload(self, spec: ScenarioSpec, payload: dict, wall_time: float) -> dict:
+    def write_payload(
+        self, spec: ScenarioSpec, payload: dict[str, Any], wall_time: float
+    ) -> dict[str, Any]:
         """Persist an experiment-scenario JSON payload; returns the entry."""
         self.save_spec(spec)
         self.backend.put(self.payload_key(spec), _json_bytes(payload))
@@ -940,7 +964,7 @@ class ResultsStore:
         wall_time: float,
         error: str,
         tb: str | None = None,
-    ) -> dict:
+    ) -> dict[str, Any]:
         """Manifest entry for a failed/interrupted scenario (results untouched).
 
         ``error`` is the one-line summary; ``tb`` optionally carries the
@@ -956,13 +980,15 @@ class ResultsStore:
     # ------------------------------------------------------------------ #
     # reading results
     # ------------------------------------------------------------------ #
-    def load_result(self, spec_or_hash) -> TimeIterationResult:
+    def load_result(self, spec_or_hash: ScenarioSpec | str) -> TimeIterationResult:
         return serialize.load_result(self.result_ref(spec_or_hash))
 
-    def load_payload(self, spec_or_hash) -> dict:
-        return json.loads(self.backend.get(self.payload_key(spec_or_hash)))
+    def load_payload(self, spec_or_hash: ScenarioSpec | str) -> dict[str, Any]:
+        return cast(
+            "dict[str, Any]", json.loads(self.backend.get(self.payload_key(spec_or_hash)))
+        )
 
-    def load_spec(self, spec_or_hash) -> ScenarioSpec:
+    def load_spec(self, spec_or_hash: ScenarioSpec | str) -> ScenarioSpec:
         data = json.loads(self.backend.get(self.spec_key(spec_or_hash)))
         data.pop("spec_hash", None)
         return ScenarioSpec.from_dict(data)
@@ -970,7 +996,7 @@ class ResultsStore:
     # ------------------------------------------------------------------ #
     # checkpoints: listing and garbage collection
     # ------------------------------------------------------------------ #
-    def list_checkpoints(self, with_progress: bool = False) -> list:
+    def list_checkpoints(self, with_progress: bool = False) -> list[dict[str, Any]]:
         """Stored checkpoints, newest first, annotated with entry status.
 
         Each item carries the checkpoint key/mtime and, when the
@@ -981,8 +1007,8 @@ class ResultsStore:
         assumed, so the listing works identically for ``mem://`` and
         ``s3://`` stores.
         """
-        infos = []
-        index_by_dir: dict | None = None
+        infos: list[dict[str, Any]] = []
+        index_by_dir: dict[str, dict[str, Any]] | None = None
         for key in self.backend.list():
             match = _CHECKPOINT_KEY_RE.search(key)
             if key.count("/") != 1 or match is None:
@@ -1001,7 +1027,7 @@ class ResultsStore:
                 mtime = self.backend.mtime(key)
             except FileNotFoundError:
                 continue  # a concurrent writer/GC removed it mid-scan
-            info = {
+            info: dict[str, Any] = {
                 "key": key,
                 "path": str(self.root / key) if self.root is not None else f"{self.url}/{key}",
                 "directory": directory,
@@ -1016,7 +1042,7 @@ class ResultsStore:
                     info["iterations_done"] = len(
                         serialize.load_result(self.backend.ref(key)).records
                     )
-                except Exception:  # noqa: BLE001 - a corrupt checkpoint is reported, not fatal
+                except Exception:  # repro: allow[broad-except] -- reported, never fatal
                     info["iterations_done"] = None
             infos.append(info)
         # newest-first by mtime — but mtime is upload-time with coarse
@@ -1042,8 +1068,8 @@ class ResultsStore:
         self,
         keep_last_n: int | None = None,
         keep_on_failure: bool = True,
-        hashes=None,
-    ) -> list:
+        hashes: Iterable[ScenarioSpec | str] | None = None,
+    ) -> list[Path | PurePosixPath]:
         """Delete checkpoints per policy; returns the removed paths.
 
         * checkpoints of *completed* scenarios are always stale (the
@@ -1061,11 +1087,11 @@ class ResultsStore:
         """
         if keep_last_n is not None and keep_last_n < 0:
             raise ValueError("keep_last_n must be >= 0")
-        scope = None
+        scope: set[str] | None = None
         if hashes is not None:
             scope = {self._hash_of(h)[:_DIR_HASH_CHARS] for h in hashes}
-        removed = []
-        survivors = []
+        removed: list[dict[str, Any]] = []
+        survivors: list[dict[str, Any]] = []
         for info in self.list_checkpoints():
             if scope is not None and info["directory"] not in scope:
                 continue
@@ -1076,7 +1102,7 @@ class ResultsStore:
         if keep_last_n is not None:
             # list_checkpoints is newest-first; everything past N goes
             removed.extend(survivors[keep_last_n:])
-        paths = []
+        paths: list[Path | PurePosixPath] = []
         for info in removed:
             if self.backend.delete(info["key"], missing_ok=True):
                 # Path for file:// stores (local tooling expects real
@@ -1118,7 +1144,7 @@ class ResultsStore:
         return "\n".join(lines)
 
 
-def parse_event_lines(raw: bytes) -> list:
+def parse_event_lines(raw: bytes) -> list[dict[str, Any]]:
     """Parse an ``events/*.jsonl`` blob into event dicts, tolerantly.
 
     Only *complete* lines (terminated by a newline) are parsed: a torn
@@ -1127,7 +1153,7 @@ def parse_event_lines(raw: bytes) -> list:
     next read.  Unparseable or non-dict lines are dropped rather than
     failing the feed.
     """
-    events = []
+    events: list[dict[str, Any]] = []
     text = raw.decode("utf-8", errors="replace")
     complete, sep, _tail = text.rpartition("\n")
     if not sep:
@@ -1178,7 +1204,7 @@ class StoreEventSink:
         worker_id: str,
         flush_every: int = 25,
         flush_interval: float = 2.0,
-        clock=time.time,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if flush_every < 1:
             raise ValueError("flush_every must be >= 1")
@@ -1188,17 +1214,19 @@ class StoreEventSink:
         self.flush_interval = float(flush_interval)
         self.clock = clock
         try:
-            head = store.backend.get(self.key)
+            # retry-wrapped: the sink runs on the worker hot path, where a
+            # transient store blip must not cost the whole event history
+            head = call_with_retries(store.backend.get, self.key, op=f"get {self.key}")
             # keep only whole lines of the existing log as the head; an
             # (impossible-under-contract) torn tail must not glue itself
             # onto the first new event line
             self._head = head[: head.rfind(b"\n") + 1]
         except FileNotFoundError:
             self._head = b""
-        self._pending: list = []
+        self._pending: list[str] = []
         self._last_flush = float(clock())
 
-    def __call__(self, event) -> None:
+    def __call__(self, event: "Event") -> None:
         self._pending.append(json.dumps(event.to_dict(), sort_keys=True))
         if (
             event.kind not in self.BUFFERED_KINDS
@@ -1213,7 +1241,7 @@ class StoreEventSink:
             return
         self._head += ("\n".join(self._pending) + "\n").encode("utf-8")
         self._pending.clear()
-        self.store.backend.put(self.key, self._head)
+        call_with_retries(self.store.backend.put, self.key, self._head, op=f"put {self.key}")
         self._last_flush = float(self.clock())
 
 

@@ -319,3 +319,70 @@ class TestQueryIndexPipeline:
         assert "tau_labor>0.15" in script
         assert "--status completed" in script
         assert "len(matches) == 1" in script
+
+
+class TestStaticAnalysisGate:
+    """PR 10 additions: invariant analyzer job, mypy ladder, s3:// leg."""
+
+    def test_analysis_job_runs_analyzer_and_mypy(self, workflow):
+        job = workflow["jobs"].get("analysis")
+        assert job, "CI needs the blocking invariant-analyzer job"
+        commands = " && ".join(_run_commands(job))
+        assert "repro-analyze src" in commands, "the analyzer must scan src/"
+        assert "repro-analyze --version" in commands
+        assert "mypy" in commands, "the job must run the mypy ladder"
+        # blocking: no step may be advisory
+        assert not any(step.get("continue-on-error") for step in job["steps"])
+
+    def test_analyzer_console_script_is_declared(self):
+        config = (REPO / "pyproject.toml").read_text()
+        # :run wraps main() with SIGPIPE tolerance for `--list-rules | head`
+        assert 'repro-analyze = "repro.analysis.__main__:run"' in config
+
+    def test_mypy_ladder_is_configured(self):
+        config = (REPO / "pyproject.toml").read_text()
+        assert "[tool.mypy]" in config
+        # the strict rung must cover the concurrent store/lease stack
+        for module in (
+            "repro.scenarios.backends",
+            "repro.scenarios.lease",
+            "repro.scenarios.store",
+            "repro.scenarios.spec",
+        ):
+            assert module in config, f"mypy strict rung must include {module}"
+        assert "disallow_untyped_defs = true" in config
+        assert "strict_equality = true" in config
+
+    def test_matrix_has_s3_store_leg_with_ttl_override(self, workflow):
+        matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+        legs = matrix.get("include", [])
+        s3 = [leg for leg in legs if leg.get("store-url") == "s3://"]
+        assert s3, "tests matrix needs a REPRO_STORE_URL=s3:// leg"
+        assert float(s3[0].get("lease-ttl", 0)) > 30.0, (
+            "the s3 leg must raise the lease TTL for object-store latency"
+        )
+        commands = " && ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "REPRO_LEASE_TTL" in commands
+
+    def test_invariants_doc_covers_every_shipped_rule(self):
+        # every rule the analyzer ships must be documented with its
+        # motivating incident; a rule without a documented rationale is
+        # unreviewable when it fires
+        import subprocess
+        import sys
+
+        doc = (REPO / "docs" / "INVARIANTS.md").read_text()
+        listing = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            cwd=REPO, capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        assert listing.returncode == 0, listing.stderr
+        rule_ids = [
+            line.split()[0]
+            for line in listing.stdout.splitlines()
+            if line.strip() and not line[0].isspace()
+        ]
+        assert len(rule_ids) >= 6
+        for rule_id in rule_ids:
+            assert f"`{rule_id}`" in doc, f"docs/INVARIANTS.md must document {rule_id}"
